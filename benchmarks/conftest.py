@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, times the
+computation through ``pytest-benchmark``, prints the same rows/series the
+paper reports, and additionally writes the rendered text to
+``benchmarks/output/`` so the artifacts survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Return a callable that prints a rendered report and saves it to disk."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _sink(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _sink
+
+
+@pytest.fixture(scope="session")
+def system():
+    from repro.config import HARPV2_SYSTEM
+
+    return HARPV2_SYSTEM

@@ -1,0 +1,70 @@
+"""Figure 13: Centaur's effective gather throughput and improvement vs CPU-only."""
+
+import numpy as np
+
+from repro.analysis import figure13_centaur_throughput, figure13_lookup_sweep, render_figure13
+from repro.config import PAPER_BATCH_SIZES, PAPER_MODELS
+
+
+def test_figure13a_centaur_gather_throughput(benchmark, report_sink, system):
+    rows = benchmark(
+        figure13_centaur_throughput, system, PAPER_MODELS, PAPER_BATCH_SIZES
+    )
+    report_sink("figure13a_centaur_gather_throughput", render_figure13(rows, "(a)"))
+
+    assert len(rows) == 36
+
+    # Shape 1: the EB-Streamer peaks near 11.9 GB/s, i.e. ~68% of the
+    # effective CPU<->FPGA link bandwidth (Section VI-B).
+    best = max(row.centaur_throughput for row in rows)
+    assert 1.1e10 < best < 1.25e10
+    assert best / system.link.effective_bandwidth > 0.6
+
+    # Shape 2: the improvement over CPU-only is largest at small batches and
+    # shrinks as the CPU's own throughput catches up with batch size.
+    for model in PAPER_MODELS:
+        series = {row.batch_size: row.improvement for row in rows if row.model_name == model.name}
+        assert series[1] > series[128]
+
+    # Shape 3: the crossover — at batch 128 on the biggest models, CPU-only
+    # overtakes the link-bound EB-Streamer (paper: ~33% shortfall).
+    crossovers = [row for row in rows if row.improvement < 1.0]
+    assert crossovers, "expected CPU-only to overtake Centaur somewhere"
+    assert all(row.batch_size >= 64 for row in crossovers)
+    assert all(row.model_name in {"DLRM(3)", "DLRM(4)", "DLRM(5)"} for row in crossovers)
+    dlrm4_128 = next(r for r in rows if r.model_name == "DLRM(4)" and r.batch_size == 128)
+    assert 0.5 < dlrm4_128.improvement < 1.0
+
+    # Shape 4: the mean improvement across the sweep is large (paper: ~27x on
+    # average; this reproduction's CPU baseline is less pessimistic at batch
+    # 1, so the mean lands lower but still an order of magnitude).
+    mean_improvement = float(np.mean([row.improvement for row in rows]))
+    assert mean_improvement > 5.0
+
+
+def test_figure13b_throughput_vs_lookups(benchmark, report_sink, system):
+    rows = benchmark(
+        figure13_lookup_sweep,
+        system,
+        None,
+        (1, 16, 128),
+        (1, 2, 5, 10, 20, 50, 100, 200, 400, 800),
+    )
+    report_sink("figure13b_centaur_throughput_vs_lookups", render_figure13(rows, "(b)"))
+
+    # Shape: Centaur's effective throughput ramps up much faster with the
+    # number of gathers than the CPU's (compare Figure 7b): a few tens of
+    # lookups already reach multi-GB/s rates.
+    for batch in (1, 16, 128):
+        series = sorted(
+            (row for row in rows if row.batch_size == batch),
+            key=lambda row: row.lookups_per_table,
+        )
+        values = [row.centaur_throughput for row in series]
+        assert values == sorted(values)
+    mid = [
+        row
+        for row in rows
+        if row.batch_size == 16 and row.lookups_per_table == 50 * 16
+    ]
+    assert mid and mid[0].centaur_throughput > 5e9

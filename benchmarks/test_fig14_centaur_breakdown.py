@@ -1,0 +1,60 @@
+"""Figure 14: Centaur's latency breakdown and end-to-end speedup over CPU-only."""
+
+import pytest
+
+from repro.analysis import figure14_centaur_breakdown, render_figure14
+from repro.config import PAPER_BATCH_SIZES, PAPER_MODELS
+from repro.utils.stats_utils import geometric_mean
+
+
+def test_figure14_centaur_breakdown_and_speedup(benchmark, report_sink, system):
+    rows = benchmark(
+        figure14_centaur_breakdown, system, PAPER_MODELS, PAPER_BATCH_SIZES
+    )
+    report_sink("figure14_centaur_breakdown", render_figure14(rows))
+
+    assert len(rows) == 36
+    for row in rows:
+        assert row.fractions_sum() == pytest.approx(1.0)
+
+    speedups = [row.speedup for row in rows]
+
+    # Shape 1: Centaur wins end to end at small and medium batch sizes for
+    # every model; the largest gains come from embedding-bound models at
+    # batch 1 (paper: up to 17.2x; this reproduction peaks lower because its
+    # CPU baseline is less pessimistic at batch 1, see EXPERIMENTS.md).
+    assert all(row.speedup > 1.0 for row in rows if row.batch_size <= 16)
+    assert max(speedups) > 5.0
+    best = max(rows, key=lambda row: row.speedup)
+    assert best.batch_size == 1
+    assert best.model_name in {"DLRM(2)", "DLRM(4)", "DLRM(5)"}
+
+    # Shape 2: per-model average speedups are comfortably above 1 (the paper
+    # reports averages between 1.7x and 17.2x; DLRM(6) averages ~6.2x there
+    # and lands in the 2-8x band here).
+    for model in PAPER_MODELS:
+        series = [row.speedup for row in rows if row.model_name == model.name]
+        assert geometric_mean(series) > 1.2, model.name
+    dlrm6 = [row.speedup for row in rows if row.model_name == "DLRM(6)"]
+    assert 2.0 < geometric_mean(dlrm6) < 8.0
+
+    # Shape 3: for the embedding-bound models, speedups shrink with batch
+    # size as the CPU's gather throughput catches up with the link-bound
+    # EB-Streamer (DLRM(6), being MLP-bound, instead gains with batch as the
+    # dense accelerator's advantage grows); the only points at (or below)
+    # parity are the biggest models at batch >= 64.
+    for model in PAPER_MODELS:
+        if model.name == "DLRM(6)":
+            continue
+        by_batch = {row.batch_size: row.speedup for row in rows if row.model_name == model.name}
+        assert by_batch[1] > by_batch[128]
+    below_parity = [row for row in rows if row.speedup < 1.0]
+    assert all(row.batch_size >= 64 for row in below_parity)
+
+    # Shape 4: Centaur's own time is dominated by the EMB stage for the
+    # embedding-heavy models, with IDX/DNF as minor contributors.
+    for row in rows:
+        if row.model_name in {"DLRM(2)", "DLRM(4)", "DLRM(5)"} and row.batch_size >= 16:
+            assert row.emb_fraction > 0.4
+        assert row.idx_fraction < 0.25
+        assert row.dnf_fraction < 0.25

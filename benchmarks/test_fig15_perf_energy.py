@@ -1,0 +1,41 @@
+"""Figure 15: performance (a) and energy-efficiency (b) of all design points."""
+
+from repro.analysis import figure15_comparison, render_figure15
+from repro.config import PAPER_BATCH_SIZES, PAPER_MODELS
+from repro.utils.stats_utils import geometric_mean
+
+
+def test_figure15_performance_and_energy_efficiency(benchmark, report_sink, system):
+    rows = benchmark(figure15_comparison, system, PAPER_MODELS, PAPER_BATCH_SIZES)
+    report_sink("figure15_perf_energy", render_figure15(rows))
+
+    assert len(rows) == 36
+
+    # Everything is normalized to CPU-GPU, the slowest design point on average.
+    assert all(row.cpu_gpu_performance == 1.0 for row in rows)
+    assert all(row.cpu_gpu_efficiency == 1.0 for row in rows)
+
+    # Shape 1: CPU-only modestly outperforms CPU-GPU on average (paper: ~1.1x
+    # perf, ~1.9x energy-efficiency), because the GPU's GEMM advantage is
+    # wiped out by PCIe/driver offload overheads.
+    cpu_perf = geometric_mean([row.cpu_only_performance for row in rows])
+    cpu_eff = geometric_mean([row.cpu_only_efficiency for row in rows])
+    assert 0.8 < cpu_perf < 1.5
+    assert 1.4 < cpu_eff < 2.6
+
+    # Shape 2: Centaur is the best design point essentially everywhere, and
+    # by a wide margin at small batch sizes.
+    wins = sum(
+        1
+        for row in rows
+        if row.centaur_performance >= max(1.0, row.cpu_only_performance) * 0.95
+    )
+    assert wins >= len(rows) - 4
+    best_over_cpu = max(row.centaur_speedup_over_cpu for row in rows)
+    assert best_over_cpu > 5.0
+
+    # Shape 3: Centaur's energy-efficiency improvement exceeds its speedup
+    # (it draws less power than either baseline; paper band: 1.7-19.5x).
+    assert all(row.centaur_efficiency > row.centaur_performance for row in rows)
+    best_eff_over_cpu = max(row.centaur_efficiency_over_cpu for row in rows)
+    assert best_eff_over_cpu > best_over_cpu

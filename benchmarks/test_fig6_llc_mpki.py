@@ -1,0 +1,35 @@
+"""Figure 6: LLC miss rate (a) and MPKI (b) of embedding vs MLP layers."""
+
+from repro.analysis import figure6_cache_behaviour, render_figure6
+from repro.config import PAPER_BATCH_SIZES, PAPER_MODELS
+
+
+def test_figure6_llc_miss_rate_and_mpki(benchmark, report_sink, system):
+    rows = benchmark(figure6_cache_behaviour, system, PAPER_MODELS, PAPER_BATCH_SIZES)
+    report_sink("figure6_llc_mpki", render_figure6(rows))
+
+    assert len(rows) == 36
+
+    # Shape 1: embedding-layer LLC miss rate is highly batch-sensitive and
+    # grows with batch size (Fig. 6a).  Growth is allowed to flatten at the
+    # largest batches, where intra-batch row reuse starts to kick in.
+    for model in PAPER_MODELS:
+        series = sorted(
+            (row for row in rows if row.model_name == model.name),
+            key=lambda row: row.batch_size,
+        )
+        rates = [row.emb_llc_miss_rate for row in series]
+        assert all(later >= earlier - 0.01 for earlier, later in zip(rates, rates[1:]))
+        assert rates[-1] > rates[0]
+
+    # Shape 2: embedding miss rates reach tens of percent for the largest
+    # tables, while MLP layers stay below the paper's 20% bound.
+    assert max(row.emb_llc_miss_rate for row in rows) > 0.35
+    assert all(row.mlp_llc_miss_rate < 0.20 for row in rows)
+
+    # Shape 3: MPKI peaks in the single digits (paper: up to ~6.5) and the
+    # embedding layer's MPKI exceeds the MLP's at large batch sizes.
+    assert 3.0 < max(row.emb_mpki for row in rows) < 8.0
+    for row in rows:
+        if row.batch_size >= 64 and row.model_name in {"DLRM(4)", "DLRM(5)"}:
+            assert row.emb_mpki > row.mlp_mpki

@@ -1,0 +1,63 @@
+"""Extension benchmark (beyond the paper): tail latency under online load.
+
+The paper evaluates per-batch latency; production recommendation services
+care about tail latency under bursty arrivals.  This benchmark serves the
+same Poisson request stream through each design point with an identical
+dynamic-batching policy and compares p99 latency, SLA attainment and energy
+per request.
+"""
+
+from repro.config import DLRM2
+from repro.core import CentaurRunner
+from repro.cpu import CPUOnlyRunner
+from repro.gpu import CPUGPURunner
+from repro.serving import ServingSimulator, TimeoutBatching
+from repro.utils import TextTable
+
+LOAD_QPS = 30_000
+DURATION_S = 0.25
+SLA_S = 5e-3
+BATCHING = TimeoutBatching(window_s=1e-3, max_batch_size=64)
+
+
+def _serve_all(system):
+    reports = {}
+    for runner in (
+        CPUOnlyRunner(system),
+        CPUGPURunner(system),
+        CentaurRunner(system),
+    ):
+        simulator = ServingSimulator(runner, DLRM2, batching=BATCHING)
+        reports[runner.design_point] = simulator.serve_poisson(
+            rate_qps=LOAD_QPS, duration_s=DURATION_S, seed=42
+        )
+    return reports
+
+
+def test_serving_tail_latency(benchmark, report_sink, system):
+    reports = benchmark(_serve_all, system)
+
+    table = TextTable(
+        ["design point", "p50 (ms)", "p99 (ms)", "SLA attainment %", "energy/req (mJ)"],
+        title=f"Online serving of DLRM(2) at {LOAD_QPS:,} QPS (extension experiment)",
+    )
+    for name, report in reports.items():
+        table.add_row(
+            [
+                name,
+                report.latency.p50_s * 1e3,
+                report.latency.p99_s * 1e3,
+                100.0 * report.latency.sla_attainment(SLA_S),
+                report.energy_per_request_joules * 1e3,
+            ]
+        )
+    report_sink("serving_tail_latency", table.render())
+
+    cpu = reports["CPU-only"]
+    centaur = reports["Centaur"]
+    # Centaur's lower per-batch latency translates into a lower tail and less
+    # energy per request at the same offered load.
+    assert centaur.latency.p99_s < cpu.latency.p99_s
+    assert centaur.latency.sla_attainment(SLA_S) >= cpu.latency.sla_attainment(SLA_S)
+    assert centaur.energy_per_request_joules < cpu.energy_per_request_joules
+    assert centaur.device_utilization < cpu.device_utilization

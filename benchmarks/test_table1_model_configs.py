@@ -1,0 +1,16 @@
+"""Table I: recommendation model configurations."""
+
+from repro.analysis import render_table1, table1_model_configurations
+
+
+def test_table1_model_configurations(benchmark, report_sink):
+    rows = benchmark(table1_model_configurations)
+    report_sink("table1_model_configurations", render_table1(rows))
+
+    assert [row.model_name for row in rows] == [f"DLRM({i})" for i in range(1, 7)]
+    # Embedding footprints reproduce the paper exactly; MLP sizes are close
+    # (layer shapes are not published, see EXPERIMENTS.md).
+    for row in rows:
+        assert row.table_bytes == row.paper_table_bytes
+    assert rows[4].table_bytes == 3_200_000_000
+    assert rows[5].mlp_bytes > 5 * rows[0].mlp_bytes

@@ -1,0 +1,22 @@
+"""Table II: Centaur FPGA resource utilization on the Arria 10 GX1150."""
+
+import pytest
+
+from repro.analysis import render_table2, table2_fpga_utilization
+
+
+def test_table2_fpga_utilization(benchmark, report_sink):
+    rows = benchmark(table2_fpga_utilization)
+    report_sink("table2_fpga_utilization", render_table2(rows))
+
+    by_name = {row.resource: row for row in rows}
+    # The modelled synthesis footprint lands within a few percent of the
+    # paper's Quartus results for every resource class.
+    for row in rows:
+        assert row.used == pytest.approx(row.paper_used, rel=0.06)
+    # Headline utilization figures (paper: 29.9 / 42.6 / 82.5 / 51.6 / 27.3 %).
+    assert by_name["ALM"].utilization == pytest.approx(0.299, abs=0.02)
+    assert by_name["Block memory bits"].utilization == pytest.approx(0.426, abs=0.02)
+    assert by_name["RAM blocks"].utilization == pytest.approx(0.825, abs=0.05)
+    assert by_name["DSP"].utilization == pytest.approx(0.516, abs=0.01)
+    assert by_name["PLL"].utilization == pytest.approx(0.273, abs=0.01)

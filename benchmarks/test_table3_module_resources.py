@@ -1,0 +1,30 @@
+"""Table III: sparse vs dense accelerator FPGA resource usage."""
+
+import pytest
+
+from repro.analysis import render_table3, table3_module_resources
+from repro.core.resources import FPGAResourceModel
+from repro.config.system import FPGAConfig
+
+
+def test_table3_module_resources(benchmark, report_sink):
+    rows = benchmark(table3_module_resources)
+    report_sink("table3_module_resources", render_table3(rows))
+
+    assert len(rows) == 9
+    for row in rows:
+        assert row.paper is not None
+        if row.paper["dsp"]:
+            assert row.module.dsps == pytest.approx(row.paper["dsp"], rel=0.05)
+        if row.paper["mem_bits"]:
+            assert row.module.block_memory_bits == pytest.approx(
+                row.paper["mem_bits"], rel=0.06
+            )
+
+    # The paper's qualitative point: the sparse complex is SRAM-heavy and
+    # logic-light (54% of its block memory holds sparse indices), the dense
+    # complex consumes the bulk of the DSPs and logic cells.
+    totals = FPGAResourceModel(FPGAConfig()).group_totals()
+    assert totals["Sparse"].dsps == 96
+    assert totals["Dense"].dsps == 688
+    assert totals["Sparse"].lc_comb < 0.05 * totals["Dense"].lc_comb

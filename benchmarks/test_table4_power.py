@@ -1,0 +1,15 @@
+"""Table IV: power consumption of the three design points."""
+
+from repro.analysis import render_table4, table4_power
+
+
+def test_table4_power(benchmark, report_sink):
+    rows = benchmark(table4_power)
+    report_sink("table4_power", render_table4(rows))
+
+    by_name = {row.design_point: row for row in rows}
+    assert by_name["CPU-only"].watts == by_name["CPU-only"].paper_watts == 80.0
+    assert by_name["CPU-GPU"].watts == by_name["CPU-GPU"].paper_watts == 147.0
+    assert by_name["Centaur"].watts == by_name["Centaur"].paper_watts == 74.0
+    # Centaur draws the least power despite doing the most work on-package.
+    assert by_name["Centaur"].watts < by_name["CPU-only"].watts < by_name["CPU-GPU"].watts

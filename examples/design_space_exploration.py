@@ -1,0 +1,127 @@
+"""Design-space exploration of the Centaur accelerator.
+
+Section VII of the paper discusses how Centaur would scale with better
+chiplet technology: faster CPU<->FPGA links, a cache-bypassing gather path,
+and larger FPGAs.  This example sweeps those design knobs with the
+performance and resource models:
+
+1. MLP PE-array size: dense throughput vs DSP/ALM budget of the Arria 10.
+2. Sparse-index SRAM depth and reduction width: gather concurrency vs block
+   memory.
+3. Link bandwidth scaling and the Fig. 8 cache-bypass path: end-to-end
+   latency of DLRM(4) as the chiplet interconnect improves.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import CentaurRunner, FPGAResourceModel
+from repro.analysis import ablation_link_bandwidth, render_ablation
+from repro.config import DLRM4, DLRM6, HARPV2_SYSTEM
+from repro.config.system import FPGAConfig
+from repro.errors import ResourceEstimationError
+from repro.utils import TextTable
+
+
+def sweep_pe_array() -> None:
+    print("=" * 72)
+    print("1. MLP PE-array scaling (dense throughput vs FPGA resources)")
+    print("=" * 72)
+    table = TextTable(
+        ["PE array", "peak GFLOPS", "DSPs", "DSP util %", "ALMs", "DLRM(6) MLP speedup"],
+    )
+    base_fpga = FPGAConfig()
+    base_runner = CentaurRunner(HARPV2_SYSTEM.with_fpga(base_fpga))
+    base_mlp = base_runner.run(DLRM6, 64).breakdown.get("MLP")
+    for rows_cols in ((2, 2), (4, 4), (6, 6), (8, 8)):
+        fpga = replace(base_fpga, mlp_pe_rows=rows_cols[0], mlp_pe_cols=rows_cols[1])
+        resources = FPGAResourceModel(fpga)
+        try:
+            report = resources.report()
+        except ResourceEstimationError as error:
+            table.add_row(
+                [f"{rows_cols[0]}x{rows_cols[1]}", fpga.peak_flops / 1e9, "-", "-", "-",
+                 f"does not fit: {error}"]
+            )
+            continue
+        runner = CentaurRunner(HARPV2_SYSTEM.with_fpga(fpga))
+        mlp_time = runner.run(DLRM6, 64).breakdown.get("MLP")
+        table.add_row(
+            [
+                f"{rows_cols[0]}x{rows_cols[1]}",
+                fpga.peak_flops / 1e9,
+                report.dsps,
+                100.0 * report.dsp_utilization,
+                report.alms,
+                f"{base_mlp / mlp_time:.2f}x",
+            ]
+        )
+    print(table.render())
+
+
+def sweep_sparse_structures() -> None:
+    print()
+    print("=" * 72)
+    print("2. Sparse accelerator sizing (index SRAM depth, reduction lanes)")
+    print("=" * 72)
+    table = TextTable(
+        ["index SRAM entries", "reduction lanes", "block mem bits", "RAM block util %",
+         "reduction GB/s"],
+    )
+    for entries, lanes in ((98_304, 16), (393_216, 32), (786_432, 64), (1_572_864, 64)):
+        fpga = replace(FPGAConfig(), sparse_index_sram_entries=entries, reduction_lanes=lanes)
+        resources = FPGAResourceModel(fpga)
+        try:
+            report = resources.report()
+        except ResourceEstimationError:
+            table.add_row([entries, lanes, "-", "does not fit", "-"])
+            continue
+        reduction_bandwidth = lanes * 4 * fpga.frequency_hz
+        table.add_row(
+            [
+                entries,
+                lanes,
+                report.block_memory_bits,
+                100.0 * report.ram_block_utilization,
+                reduction_bandwidth / 1e9,
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe default configuration (384K indices, 32 lanes) is what fills 82.5%"
+        "\nof the Arria 10's RAM blocks in Table II; the wider variants show the"
+        "\nheadroom a larger FPGA would provide."
+    )
+
+
+def sweep_link_bandwidth() -> None:
+    print()
+    print("=" * 72)
+    print("3. Chiplet link scaling and the cache-bypass path (Section VII)")
+    print("=" * 72)
+    points = ablation_link_bandwidth(
+        HARPV2_SYSTEM,
+        model=DLRM4,
+        batch_size=64,
+        bandwidth_scales=(1.0, 2.0, 4.0, 8.0),
+        include_bypass=True,
+    )
+    print(render_ablation(points))
+    print(
+        "\nGather throughput scales with link bandwidth until the 32-lane"
+        "\nreduction unit (25.6 GB/s) becomes the next bottleneck - the kind of"
+        "\nco-design insight the paper's discussion section anticipates."
+    )
+
+
+def main() -> None:
+    sweep_pe_array()
+    sweep_sparse_structures()
+    sweep_link_bandwidth()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Online serving under bursty load: tail latency of the three design points.
+
+The paper argues that user-facing recommendation services need
+latency-optimized hardware because they run under firm SLAs.  This example
+goes one step further than per-batch latency: it simulates an online serving
+system (Poisson arrivals, a 1 ms dynamic batching window, a single device)
+and reports the p50/p95/p99 request latency, device utilization and energy
+per request of CPU-only, CPU-GPU and Centaur at increasing load.
+
+Run with:  python examples/online_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import CentaurRunner, CPUGPURunner, CPUOnlyRunner
+from repro.config import DLRM2, HARPV2_SYSTEM
+from repro.serving import ServingSimulator, TimeoutBatching
+from repro.utils import TextTable
+
+#: Arrival rates to sweep (queries per second).
+LOADS_QPS = (5_000, 20_000, 40_000)
+#: Simulated wall-clock window per experiment.
+DURATION_S = 0.25
+#: Dynamic batching policy shared by every design point.
+BATCHING = TimeoutBatching(window_s=1e-3, max_batch_size=64)
+#: Latency SLA used for the attainment column.
+SLA_S = 5e-3
+
+
+def main() -> None:
+    model = DLRM2
+    runners = (
+        CPUOnlyRunner(HARPV2_SYSTEM),
+        CPUGPURunner(HARPV2_SYSTEM),
+        CentaurRunner(HARPV2_SYSTEM),
+    )
+    print(f"Serving {model.name} with a {BATCHING.window_s * 1e3:.1f} ms batching window, "
+          f"max batch {BATCHING.max_batch_size}, SLA {SLA_S * 1e3:.0f} ms\n")
+
+    for load in LOADS_QPS:
+        table = TextTable(
+            [
+                "design point",
+                "p50 (ms)",
+                "p95 (ms)",
+                "p99 (ms)",
+                "SLA attainment",
+                "avg batch",
+                "utilization",
+                "energy/req (mJ)",
+            ],
+            title=f"Offered load: {load:,} QPS over {DURATION_S * 1e3:.0f} ms",
+        )
+        for runner in runners:
+            simulator = ServingSimulator(runner, model, batching=BATCHING)
+            report = simulator.serve_poisson(rate_qps=load, duration_s=DURATION_S, seed=42)
+            table.add_row(
+                [
+                    report.design_point,
+                    report.latency.p50_s * 1e3,
+                    report.latency.p95_s * 1e3,
+                    report.latency.p99_s * 1e3,
+                    f"{report.latency.sla_attainment(SLA_S) * 100:.1f}%",
+                    report.average_batch_size,
+                    f"{report.device_utilization * 100:.0f}%",
+                    report.energy_per_request_joules * 1e3,
+                ]
+            )
+        print(table.render())
+        print()
+
+    print(
+        "At light load every design point meets the SLA; as the load approaches"
+        "\nthe CPU's saturation throughput its queue explodes while Centaur keeps"
+        "\nits tail latency flat - the serving-level consequence of the per-batch"
+        "\nspeedups in Figure 14."
+    )
+
+
+if __name__ == "__main__":
+    main()

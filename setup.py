@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments whose tooling predates PEP
+660 editable installs (e.g. ``python setup.py develop`` on machines without
+the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

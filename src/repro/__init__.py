@@ -1,0 +1,149 @@
+"""Centaur reproduction: a chiplet-based hybrid sparse-dense accelerator model.
+
+This package reproduces, in Python, the system described in *"Centaur: A
+Chiplet-based, Hybrid Sparse-Dense Accelerator for Personalized
+Recommendations"* (ISCA 2020): a from-scratch DLRM inference library, CPU /
+CPU-GPU / Centaur performance models calibrated to the paper's evaluation
+platform (Intel HARPv2), an FPGA resource estimator, power/energy models and
+an analysis harness that regenerates every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import DLRM, UniformTraceGenerator, CentaurDevice
+    from repro import CPUOnlyRunner, CentaurRunner
+    from repro.config import DLRM1, HARPV2_SYSTEM
+
+    model = DLRM.from_config(DLRM1, seed=0)
+    batch = UniformTraceGenerator(seed=1).model_batch(DLRM1, batch_size=16)
+    probabilities = CentaurDevice(model, HARPV2_SYSTEM).predict(batch)
+
+    cpu = CPUOnlyRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+    fpga = CentaurRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+    print(f"speedup: {fpga.speedup_over(cpu):.2f}x")
+"""
+
+from repro.version import __version__, PAPER_TITLE, PAPER_VENUE, PAPER_AUTHORS
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    ModelShapeError,
+    TraceError,
+    SimulationError,
+    CapacityError,
+    ResourceEstimationError,
+)
+from repro.results import InferenceResult, LatencyBreakdown
+from repro.config import (
+    CPUConfig,
+    MemoryConfig,
+    LinkConfig,
+    FPGAConfig,
+    GPUConfig,
+    PowerConfig,
+    SystemConfig,
+    DLRMConfig,
+    EmbeddingTableConfig,
+    MLPConfig,
+    HARPV2_SYSTEM,
+    PAPER_MODELS,
+    PAPER_BATCH_SIZES,
+    DLRM1,
+    DLRM2,
+    DLRM3,
+    DLRM4,
+    DLRM5,
+    DLRM6,
+    dlrm_preset,
+)
+from repro.dlrm import (
+    DLRM,
+    DLRMOutput,
+    DLRMBatch,
+    SparseTrace,
+    UniformTraceGenerator,
+    ZipfianTraceGenerator,
+    EmbeddingBagCollection,
+    DenseEmbeddingTable,
+    VirtualEmbeddingTable,
+    sparse_lengths_sum,
+    MLP,
+)
+from repro.cpu import CPUOnlyRunner
+from repro.gpu import CPUGPURunner
+from repro.core import (
+    CentaurDevice,
+    CentaurRunner,
+    EBStreamer,
+    DenseAcceleratorComplex,
+    FPGAResourceModel,
+)
+from repro.power import PowerModel
+from repro.serving import (
+    FixedSizeBatching,
+    PoissonRequestGenerator,
+    ServingSimulator,
+    TimeoutBatching,
+)
+from repro.analysis import DesignPointSweep, headline_summary
+
+__all__ = [
+    "__version__",
+    "PAPER_TITLE",
+    "PAPER_VENUE",
+    "PAPER_AUTHORS",
+    "ReproError",
+    "ConfigurationError",
+    "ModelShapeError",
+    "TraceError",
+    "SimulationError",
+    "CapacityError",
+    "ResourceEstimationError",
+    "InferenceResult",
+    "LatencyBreakdown",
+    "CPUConfig",
+    "MemoryConfig",
+    "LinkConfig",
+    "FPGAConfig",
+    "GPUConfig",
+    "PowerConfig",
+    "SystemConfig",
+    "DLRMConfig",
+    "EmbeddingTableConfig",
+    "MLPConfig",
+    "HARPV2_SYSTEM",
+    "PAPER_MODELS",
+    "PAPER_BATCH_SIZES",
+    "DLRM1",
+    "DLRM2",
+    "DLRM3",
+    "DLRM4",
+    "DLRM5",
+    "DLRM6",
+    "dlrm_preset",
+    "DLRM",
+    "DLRMOutput",
+    "DLRMBatch",
+    "SparseTrace",
+    "UniformTraceGenerator",
+    "ZipfianTraceGenerator",
+    "EmbeddingBagCollection",
+    "DenseEmbeddingTable",
+    "VirtualEmbeddingTable",
+    "sparse_lengths_sum",
+    "MLP",
+    "CPUOnlyRunner",
+    "CPUGPURunner",
+    "CentaurDevice",
+    "CentaurRunner",
+    "EBStreamer",
+    "DenseAcceleratorComplex",
+    "FPGAResourceModel",
+    "PowerModel",
+    "FixedSizeBatching",
+    "PoissonRequestGenerator",
+    "ServingSimulator",
+    "TimeoutBatching",
+    "DesignPointSweep",
+    "headline_summary",
+]

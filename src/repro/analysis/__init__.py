@@ -1,0 +1,102 @@
+"""Analysis harness: regenerates every table and figure of the evaluation.
+
+Each ``figureN_*`` / ``tableN_*`` function returns plain dataclasses or
+dictionaries so the benchmark scripts can both print the same rows/series
+the paper reports and assert on their shape (who wins, by how much, where
+the crossovers fall).
+"""
+
+from repro.analysis.sweep import DesignPointSweep, SweepResult
+from repro.analysis.characterization import (
+    Figure5Row,
+    Figure6Row,
+    Figure7Point,
+    figure5_latency_breakdown,
+    figure6_cache_behaviour,
+    figure7_effective_throughput,
+    figure7_lookup_sweep,
+)
+from repro.analysis.evaluation import (
+    Figure13Row,
+    Figure14Row,
+    Figure15Row,
+    AblationPoint,
+    figure13_centaur_throughput,
+    figure13_lookup_sweep,
+    figure14_centaur_breakdown,
+    figure15_comparison,
+    ablation_link_bandwidth,
+    headline_summary,
+)
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    batch_size_sweep,
+    embedding_dim_sweep,
+    render_sensitivity,
+)
+from repro.analysis.tables import (
+    table1_model_configurations,
+    table2_fpga_utilization,
+    table3_module_resources,
+    table4_power,
+    table5_related_work,
+)
+from repro.analysis.report import (
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure13,
+    render_figure14,
+    render_figure15,
+    render_ablation,
+    render_headline,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "DesignPointSweep",
+    "SweepResult",
+    "Figure5Row",
+    "Figure6Row",
+    "Figure7Point",
+    "figure5_latency_breakdown",
+    "figure6_cache_behaviour",
+    "figure7_effective_throughput",
+    "figure7_lookup_sweep",
+    "Figure13Row",
+    "Figure14Row",
+    "Figure15Row",
+    "AblationPoint",
+    "figure13_centaur_throughput",
+    "figure13_lookup_sweep",
+    "figure14_centaur_breakdown",
+    "figure15_comparison",
+    "ablation_link_bandwidth",
+    "headline_summary",
+    "SensitivityPoint",
+    "batch_size_sweep",
+    "embedding_dim_sweep",
+    "render_sensitivity",
+    "table1_model_configurations",
+    "table2_fpga_utilization",
+    "table3_module_resources",
+    "table4_power",
+    "table5_related_work",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_figure13",
+    "render_figure14",
+    "render_figure15",
+    "render_ablation",
+    "render_headline",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+]

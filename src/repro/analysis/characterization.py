@@ -1,0 +1,211 @@
+"""Workload characterization of CPU-only DLRM inference (Figures 5-7).
+
+These functions reproduce Section III of the paper: the latency breakdown of
+CPU-only inference, the cache behaviour (LLC miss rate and MPKI) of the
+embedding versus MLP layers, and the effective memory throughput achieved by
+embedding gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.config.models import DLRMConfig, homogeneous_dlrm
+from repro.config.presets import PAPER_BATCH_SIZES, PAPER_MODELS
+from repro.config.system import SystemConfig
+from repro.cpu.cpu_runner import CPUOnlyRunner
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    """One bar of Figure 5: CPU-only latency breakdown for (model, batch)."""
+
+    model_name: str
+    batch_size: int
+    emb_fraction: float
+    mlp_fraction: float
+    other_fraction: float
+    latency_s: float
+    normalized_latency: float
+
+    def fractions_sum(self) -> float:
+        return self.emb_fraction + self.mlp_fraction + self.other_fraction
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    """One group of Figure 6: cache behaviour of EMB vs MLP for (model, batch)."""
+
+    model_name: str
+    batch_size: int
+    emb_llc_miss_rate: float
+    mlp_llc_miss_rate: float
+    emb_mpki: float
+    mlp_mpki: float
+
+
+@dataclass(frozen=True)
+class Figure7Point:
+    """One point of Figure 7: effective embedding throughput."""
+
+    model_name: str
+    batch_size: int
+    lookups_per_table: float
+    effective_throughput: float
+    peak_dram_bandwidth: float
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        return self.effective_throughput / self.peak_dram_bandwidth
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+def figure5_latency_breakdown(
+    system: SystemConfig,
+    models: Optional[Sequence[DLRMConfig]] = None,
+    batch_sizes: Optional[Iterable[int]] = None,
+) -> List[Figure5Row]:
+    """Reproduce Figure 5: CPU-only latency breakdown and normalized latency.
+
+    Latencies are normalized to the first (model, batch) combination —
+    DLRM(1) at batch size 1 in the paper — exactly as the figure's right
+    axis does.
+    """
+    models = tuple(models) if models is not None else PAPER_MODELS
+    batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
+    runner = CPUOnlyRunner(system)
+    rows: List[Figure5Row] = []
+    reference_latency: Optional[float] = None
+    for model in models:
+        for batch_size in batch_sizes:
+            result = runner.run(model, batch_size)
+            if reference_latency is None:
+                reference_latency = result.latency_seconds
+            rows.append(
+                Figure5Row(
+                    model_name=model.name,
+                    batch_size=batch_size,
+                    emb_fraction=result.breakdown.fraction("EMB"),
+                    mlp_fraction=result.breakdown.fraction("MLP"),
+                    other_fraction=result.breakdown.fraction("Other"),
+                    latency_s=result.latency_seconds,
+                    normalized_latency=result.latency_seconds / reference_latency,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+def figure6_cache_behaviour(
+    system: SystemConfig,
+    models: Optional[Sequence[DLRMConfig]] = None,
+    batch_sizes: Optional[Iterable[int]] = None,
+) -> List[Figure6Row]:
+    """Reproduce Figure 6: LLC miss rate and MPKI of EMB vs MLP layers."""
+    models = tuple(models) if models is not None else PAPER_MODELS
+    batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
+    runner = CPUOnlyRunner(system)
+    rows: List[Figure6Row] = []
+    for model in models:
+        for batch_size in batch_sizes:
+            result = runner.run(model, batch_size)
+            if result.embedding_traffic is None or result.mlp_traffic is None:
+                raise SimulationError("CPU-only runner must attach traffic profiles")
+            rows.append(
+                Figure6Row(
+                    model_name=model.name,
+                    batch_size=batch_size,
+                    emb_llc_miss_rate=result.embedding_traffic.llc.miss_rate,
+                    mlp_llc_miss_rate=result.mlp_traffic.llc.miss_rate,
+                    emb_mpki=result.embedding_traffic.mpki,
+                    mlp_mpki=result.mlp_traffic.mpki,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7
+# ---------------------------------------------------------------------------
+def figure7_effective_throughput(
+    system: SystemConfig,
+    models: Optional[Sequence[DLRMConfig]] = None,
+    batch_sizes: Optional[Iterable[int]] = None,
+) -> List[Figure7Point]:
+    """Reproduce Figure 7(a): CPU-only effective embedding throughput."""
+    models = tuple(models) if models is not None else PAPER_MODELS
+    batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
+    runner = CPUOnlyRunner(system)
+    points: List[Figure7Point] = []
+    for model in models:
+        for batch_size in batch_sizes:
+            throughput = runner.effective_embedding_throughput(model, batch_size)
+            points.append(
+                Figure7Point(
+                    model_name=model.name,
+                    batch_size=batch_size,
+                    lookups_per_table=model.gathers_per_table,
+                    effective_throughput=throughput,
+                    peak_dram_bandwidth=system.memory.peak_bandwidth,
+                )
+            )
+    return points
+
+
+def single_table_model(
+    reference: DLRMConfig, lookups_per_table: int, name: Optional[str] = None
+) -> DLRMConfig:
+    """A single-table variant of ``reference`` used by Figure 7(b)/13(b).
+
+    The paper sweeps the total number of lookups performed on one embedding
+    table of the DLRM(4) configuration.
+    """
+    if lookups_per_table <= 0:
+        raise SimulationError(f"lookups_per_table must be positive, got {lookups_per_table}")
+    single = homogeneous_dlrm(
+        name=name or f"{reference.name}-1table-{lookups_per_table}lookups",
+        num_tables=1,
+        rows_per_table=reference.tables[0].num_rows,
+        gathers_per_table=lookups_per_table,
+        embedding_dim=reference.embedding_dim,
+        num_dense_features=reference.num_dense_features,
+    )
+    return single
+
+
+def figure7_lookup_sweep(
+    system: SystemConfig,
+    reference: Optional[DLRMConfig] = None,
+    batch_sizes: Optional[Iterable[int]] = None,
+    lookups: Iterable[int] = (1, 2, 5, 10, 20, 50, 100, 200, 400, 800),
+) -> List[Figure7Point]:
+    """Reproduce Figure 7(b): throughput vs lookups per table (single table).
+
+    ``lookups`` is the number of lookups *per sample*; the x-axis of the
+    paper's figure (total lookups per table) is ``lookups * batch``, which is
+    reported in the returned points via ``lookups_per_table``.
+    """
+    reference = reference if reference is not None else PAPER_MODELS[3]  # DLRM(4)
+    batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
+    runner = CPUOnlyRunner(system)
+    points: List[Figure7Point] = []
+    for batch_size in batch_sizes:
+        for lookup_count in lookups:
+            model = single_table_model(reference, lookup_count)
+            throughput = runner.effective_embedding_throughput(model, batch_size)
+            points.append(
+                Figure7Point(
+                    model_name=model.name,
+                    batch_size=batch_size,
+                    lookups_per_table=float(lookup_count * batch_size),
+                    effective_throughput=throughput,
+                    peak_dram_bandwidth=system.memory.peak_bandwidth,
+                )
+            )
+    return points

@@ -1,0 +1,167 @@
+"""Sensitivity studies referenced by the paper's text (beyond the main figures).
+
+Two claims in Section III-C's footnote motivate these sweeps:
+
+* the CPU can only approach its DRAM bandwidth for embedding gathers when
+  the batch size grows far beyond realistic inference sizes (>2048), or
+* when the embedding vectors are much wider than the production 32-float
+  configuration (1024-dimensional and above),
+
+and the related-work discussion argues that Centaur's benefit — unlike
+TensorDIMM's rank-level parallelism — is *not* tied to wide embedding
+vectors.  The sweeps below quantify both statements with the same models
+used everywhere else in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.config.models import DLRMConfig, homogeneous_dlrm
+from repro.config.system import SystemConfig
+from repro.core.centaur import CentaurRunner
+from repro.cpu.cpu_runner import CPUOnlyRunner
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Effective gather throughput of both designs at one sweep point."""
+
+    parameter: str
+    value: int
+    batch_size: int
+    embedding_dim: int
+    cpu_throughput: float
+    centaur_throughput: float
+    dram_peak_bandwidth: float
+    link_effective_bandwidth: float
+
+    @property
+    def cpu_fraction_of_peak(self) -> float:
+        return self.cpu_throughput / self.dram_peak_bandwidth
+
+    @property
+    def centaur_fraction_of_link(self) -> float:
+        return self.centaur_throughput / self.link_effective_bandwidth
+
+    @property
+    def centaur_improvement(self) -> float:
+        if self.cpu_throughput == 0:
+            return float("inf")
+        return self.centaur_throughput / self.cpu_throughput
+
+
+def _sweep_model(
+    reference: DLRMConfig, embedding_dim: int, gathers_per_table: int
+) -> DLRMConfig:
+    """A variant of ``reference`` with a different vector width."""
+    return homogeneous_dlrm(
+        name=f"{reference.name}-dim{embedding_dim}",
+        num_tables=reference.num_tables,
+        rows_per_table=reference.tables[0].num_rows,
+        gathers_per_table=gathers_per_table,
+        embedding_dim=embedding_dim,
+        num_dense_features=reference.num_dense_features,
+    )
+
+
+def embedding_dim_sweep(
+    system: SystemConfig,
+    reference: Optional[DLRMConfig] = None,
+    dims: Iterable[int] = (32, 64, 128, 256, 512, 1024),
+    batch_size: int = 32,
+) -> List[SensitivityPoint]:
+    """Sweep the embedding vector width at a fixed batch size.
+
+    Wide vectors turn each gather into a long sequential burst, which is the
+    one regime where the CPU's prefetchers and row-buffer locality let it
+    approach DRAM bandwidth — the paper's footnote 2.
+    """
+    if batch_size <= 0:
+        raise SimulationError(f"batch_size must be positive, got {batch_size}")
+    from repro.config.presets import DLRM4
+
+    reference = reference if reference is not None else DLRM4
+    cpu = CPUOnlyRunner(system)
+    centaur = CentaurRunner(system)
+    points: List[SensitivityPoint] = []
+    for dim in dims:
+        if dim <= 0:
+            raise SimulationError(f"embedding dims must be positive, got {dim}")
+        model = _sweep_model(reference, dim, int(reference.gathers_per_table))
+        points.append(
+            SensitivityPoint(
+                parameter="embedding_dim",
+                value=dim,
+                batch_size=batch_size,
+                embedding_dim=dim,
+                cpu_throughput=cpu.effective_embedding_throughput(model, batch_size),
+                centaur_throughput=centaur.effective_embedding_throughput(model, batch_size),
+                dram_peak_bandwidth=system.memory.peak_bandwidth,
+                link_effective_bandwidth=system.link.effective_bandwidth,
+            )
+        )
+    return points
+
+
+def batch_size_sweep(
+    system: SystemConfig,
+    reference: Optional[DLRMConfig] = None,
+    batch_sizes: Iterable[int] = (128, 256, 512, 1024, 2048, 4096),
+) -> List[SensitivityPoint]:
+    """Sweep batch sizes beyond the inference-realistic 1-128 range."""
+    from repro.config.presets import DLRM4
+
+    reference = reference if reference is not None else DLRM4
+    cpu = CPUOnlyRunner(system)
+    centaur = CentaurRunner(system)
+    points: List[SensitivityPoint] = []
+    for batch_size in batch_sizes:
+        if batch_size <= 0:
+            raise SimulationError(f"batch sizes must be positive, got {batch_size}")
+        points.append(
+            SensitivityPoint(
+                parameter="batch_size",
+                value=batch_size,
+                batch_size=batch_size,
+                embedding_dim=reference.embedding_dim,
+                cpu_throughput=cpu.effective_embedding_throughput(reference, batch_size),
+                centaur_throughput=centaur.effective_embedding_throughput(
+                    reference, batch_size
+                ),
+                dram_peak_bandwidth=system.memory.peak_bandwidth,
+                link_effective_bandwidth=system.link.effective_bandwidth,
+            )
+        )
+    return points
+
+
+def render_sensitivity(points: List[SensitivityPoint], title: str) -> str:
+    """Render a sensitivity sweep as a text table."""
+    from repro.utils.tables import TextTable
+
+    table = TextTable(
+        [
+            "parameter",
+            "value",
+            "CPU GB/s",
+            "CPU % of DRAM peak",
+            "Centaur GB/s",
+            "Centaur % of link",
+        ],
+        title=title,
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.parameter,
+                point.value,
+                point.cpu_throughput / 1e9,
+                100.0 * point.cpu_fraction_of_peak,
+                point.centaur_throughput / 1e9,
+                100.0 * point.centaur_fraction_of_link,
+            ]
+        )
+    return table.render()

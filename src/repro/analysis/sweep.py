@@ -1,0 +1,110 @@
+"""Parameter-sweep driver shared by the figure reproductions.
+
+Running every (design point, model, batch size) combination is the common
+substrate of Figures 13-15; :class:`DesignPointSweep` runs them once and
+caches the :class:`~repro.results.InferenceResult` objects so each figure
+function can slice the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.models import DLRMConfig
+from repro.config.presets import PAPER_BATCH_SIZES, PAPER_MODELS
+from repro.config.system import SystemConfig
+from repro.core.centaur import CentaurRunner
+from repro.cpu.cpu_runner import CPUOnlyRunner
+from repro.errors import SimulationError
+from repro.gpu.gpu_runner import CPUGPURunner
+from repro.results import InferenceResult
+
+#: Key identifying one sweep point: (design point, model name, batch size).
+SweepKey = Tuple[str, str, int]
+
+
+@dataclass
+class SweepResult:
+    """All inference results produced by one sweep."""
+
+    results: Dict[SweepKey, InferenceResult] = field(default_factory=dict)
+
+    def get(self, design_point: str, model_name: str, batch_size: int) -> InferenceResult:
+        key = (design_point, model_name, batch_size)
+        if key not in self.results:
+            raise KeyError(f"no sweep result for {key}")
+        return self.results[key]
+
+    def add(self, result: InferenceResult) -> None:
+        self.results[(result.design_point, result.model_name, result.batch_size)] = result
+
+    def design_points(self) -> List[str]:
+        return sorted({key[0] for key in self.results})
+
+    def model_names(self) -> List[str]:
+        names = []
+        for key in self.results:
+            if key[1] not in names:
+                names.append(key[1])
+        return names
+
+    def batch_sizes(self) -> List[int]:
+        return sorted({key[2] for key in self.results})
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class DesignPointSweep:
+    """Runs the three design points over models x batch sizes.
+
+    Args:
+        system: Hardware configuration bundle shared by all design points.
+        models: DLRM configurations to evaluate (defaults to Table I).
+        batch_sizes: Input batch sizes (defaults to the paper's 1-128 sweep).
+        design_points: Subset of design points to run.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        models: Optional[Sequence[DLRMConfig]] = None,
+        batch_sizes: Optional[Iterable[int]] = None,
+        design_points: Sequence[str] = ("CPU-only", "CPU-GPU", "Centaur"),
+    ):
+        self.system = system
+        self.models = tuple(models) if models is not None else PAPER_MODELS
+        self.batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
+        if not self.models:
+            raise SimulationError("sweep needs at least one model")
+        if not self.batch_sizes:
+            raise SimulationError("sweep needs at least one batch size")
+        unknown = set(design_points) - {"CPU-only", "CPU-GPU", "Centaur"}
+        if unknown:
+            raise SimulationError(f"unknown design points: {sorted(unknown)}")
+        self.design_points = tuple(design_points)
+        self._runners = {}
+        if "CPU-only" in self.design_points:
+            self._runners["CPU-only"] = CPUOnlyRunner(system)
+        if "CPU-GPU" in self.design_points:
+            self._runners["CPU-GPU"] = CPUGPURunner(system)
+        if "Centaur" in self.design_points:
+            self._runners["Centaur"] = CentaurRunner(system)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        """Run every combination and return the collected results."""
+        sweep = SweepResult()
+        for model in self.models:
+            for batch_size in self.batch_sizes:
+                for design_point in self.design_points:
+                    runner = self._runners[design_point]
+                    sweep.add(runner.run(model, batch_size))
+        return sweep
+
+    def model_by_name(self, name: str) -> DLRMConfig:
+        for model in self.models:
+            if model.name == name:
+                return model
+        raise KeyError(f"no model named {name!r} in this sweep")

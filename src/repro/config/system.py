@@ -1,0 +1,346 @@
+"""Hardware/system configuration dataclasses.
+
+These dataclasses hold every calibration constant used by the performance
+models.  The default instances in :mod:`repro.config.presets` mirror the
+evaluation platform of the paper: an Intel HARPv2 package (Broadwell Xeon
+E5-2680v4 + Altera Arria 10 GX1150) plus an NVIDIA DGX-1 V100 for the
+``CPU-GPU`` design point.
+
+All bandwidths are bytes/second, all latencies are seconds, all capacities
+are bytes, all frequencies are Hz unless the field name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.utils.units import GB, GIB, KIB, MIB
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Configuration of the host CPU (Broadwell Xeon class).
+
+    Attributes:
+        name: Human-readable identifier.
+        num_cores: Physical core count used for inference.
+        frequency_hz: Nominal core clock.
+        simd_flops_per_cycle: Single-precision FLOPs one core can retire per
+            cycle with AVX/FMA (Broadwell: 2 x 8-wide FMA = 32 FLOPs, but the
+            sustained GEMM rate of the PyTorch/OpenMP backend is far lower; the
+            efficiency curve lives in :class:`repro.cpu.gemm.CPUGemmModel`).
+        l1_bytes / l2_bytes / llc_bytes: Per-core L1/L2 and shared LLC sizes.
+        llc_ways: LLC associativity (used by the trace-driven simulator).
+        cache_line_bytes: Cache line granularity.
+        mshrs_per_core: Outstanding L1 misses a core can sustain; the key
+            limiter of memory-level parallelism for embedding gathers.
+        load_issue_overhead_s: Software cost per embedding lookup (address
+            generation, bounds checks, loop overhead) on one core.
+        instructions_per_lookup: Retired-instruction estimate per embedding
+            lookup (drives the MPKI model).
+        instructions_per_flop: Retired instructions per MLP FLOP (fused
+            multiply-adds retire ~0.5 instruction per FLOP plus loop/loads).
+    """
+
+    name: str = "Xeon E5-2680v4"
+    num_cores: int = 14
+    frequency_hz: float = 2.4e9
+    simd_flops_per_cycle: float = 32.0
+    l1_bytes: int = 32 * KIB
+    l2_bytes: int = 256 * KIB
+    llc_bytes: int = 35 * MIB
+    llc_ways: int = 20
+    cache_line_bytes: int = 64
+    mshrs_per_core: int = 10
+    load_issue_overhead_s: float = 4.0e-9
+    instructions_per_lookup: float = 36.0
+    instructions_per_flop: float = 0.75
+
+    def __post_init__(self) -> None:
+        _require_positive("num_cores", self.num_cores)
+        _require_positive("frequency_hz", self.frequency_hz)
+        _require_positive("simd_flops_per_cycle", self.simd_flops_per_cycle)
+        _require_positive("l1_bytes", self.l1_bytes)
+        _require_positive("l2_bytes", self.l2_bytes)
+        _require_positive("llc_bytes", self.llc_bytes)
+        _require_positive("llc_ways", self.llc_ways)
+        _require_positive("cache_line_bytes", self.cache_line_bytes)
+        _require_positive("mshrs_per_core", self.mshrs_per_core)
+        _require_non_negative("load_issue_overhead_s", self.load_issue_overhead_s)
+        _require_positive("instructions_per_lookup", self.instructions_per_lookup)
+        _require_positive("instructions_per_flop", self.instructions_per_flop)
+        if self.l1_bytes > self.l2_bytes or self.l2_bytes > self.llc_bytes:
+            raise ConfigurationError(
+                "cache hierarchy must be monotonically increasing in capacity: "
+                f"L1={self.l1_bytes} L2={self.l2_bytes} LLC={self.llc_bytes}"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate single-precision peak FLOP/s across all cores."""
+        return self.num_cores * self.frequency_hz * self.simd_flops_per_cycle
+
+    @property
+    def total_mshrs(self) -> int:
+        """Total outstanding misses the socket can sustain."""
+        return self.num_cores * self.mshrs_per_core
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Configuration of the capacity-optimized CPU DDR memory system."""
+
+    name: str = "DDR4-2400 x4"
+    num_channels: int = 4
+    peak_bandwidth: float = 77.0 * GB
+    idle_latency_s: float = 80e-9
+    loaded_latency_s: float = 140e-9
+    row_buffer_bytes: int = 8 * KIB
+    banks_per_channel: int = 16
+    capacity_bytes: int = 256 * GIB
+
+    def __post_init__(self) -> None:
+        _require_positive("num_channels", self.num_channels)
+        _require_positive("peak_bandwidth", self.peak_bandwidth)
+        _require_positive("idle_latency_s", self.idle_latency_s)
+        _require_positive("loaded_latency_s", self.loaded_latency_s)
+        _require_positive("row_buffer_bytes", self.row_buffer_bytes)
+        _require_positive("banks_per_channel", self.banks_per_channel)
+        _require_positive("capacity_bytes", self.capacity_bytes)
+        if self.loaded_latency_s < self.idle_latency_s:
+            raise ConfigurationError(
+                "loaded DRAM latency cannot be lower than idle latency"
+            )
+
+    @property
+    def per_channel_bandwidth(self) -> float:
+        return self.peak_bandwidth / self.num_channels
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """CPU<->FPGA chiplet communication configuration (HARPv2: 2xPCIe + UPI).
+
+    Attributes:
+        theoretical_bandwidth: Aggregate uni-directional raw bandwidth
+            (28.8 GB/s on HARPv2).
+        effective_bandwidth: Achievable uni-directional bandwidth after
+            protocol overheads (the paper quotes 17-18 GB/s).
+        latency_s: One-way request->data latency over the link including the
+            CPU-side cache/memory lookup.
+        max_outstanding_requests: Cache-line-granularity requests the FPGA
+            can keep in flight (link credits + IOMMU/TLB capacity).
+        request_granularity_bytes: Transfer granularity (one cache line).
+        cache_bypass_available: Whether the "proposed architecture" bypass
+            path of Fig. 8 is available (HARPv2: no).
+        bypass_bandwidth: Bandwidth of the bypass path when present; the
+            Section VII discussion provisions it to match DRAM bandwidth.
+    """
+
+    name: str = "HARPv2 2xPCIe + UPI"
+    theoretical_bandwidth: float = 28.8 * GB
+    effective_bandwidth: float = 17.5 * GB
+    latency_s: float = 450e-9
+    max_outstanding_requests: int = 128
+    request_granularity_bytes: int = 64
+    mmio_write_latency_s: float = 1.0e-6
+    cache_bypass_available: bool = False
+    bypass_bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_positive("theoretical_bandwidth", self.theoretical_bandwidth)
+        _require_positive("effective_bandwidth", self.effective_bandwidth)
+        _require_positive("latency_s", self.latency_s)
+        _require_positive("max_outstanding_requests", self.max_outstanding_requests)
+        _require_positive("request_granularity_bytes", self.request_granularity_bytes)
+        _require_non_negative("mmio_write_latency_s", self.mmio_write_latency_s)
+        if self.effective_bandwidth > self.theoretical_bandwidth:
+            raise ConfigurationError(
+                "effective link bandwidth cannot exceed theoretical bandwidth"
+            )
+        if self.cache_bypass_available and self.bypass_bandwidth is None:
+            raise ConfigurationError(
+                "bypass_bandwidth must be set when cache_bypass_available is True"
+            )
+        if self.bypass_bandwidth is not None:
+            _require_positive("bypass_bandwidth", self.bypass_bandwidth)
+
+    def with_bypass(self, bypass_bandwidth: float) -> "LinkConfig":
+        """Return a copy with the cache-bypass path enabled (Fig. 8 ablation)."""
+        return replace(
+            self,
+            cache_bypass_available=True,
+            bypass_bandwidth=bypass_bandwidth,
+        )
+
+
+@dataclass(frozen=True)
+class FPGAFabricConfig:
+    """Raw resource capacity of the FPGA fabric (Arria 10 GX1150)."""
+
+    name: str = "Arria 10 GX1150"
+    alms: int = 427_200
+    block_memory_bits: int = 55_500_000
+    ram_blocks: int = 2_713
+    dsps: int = 1_518
+    plls: int = 176
+
+    def __post_init__(self) -> None:
+        for field_name in ("alms", "block_memory_bits", "ram_blocks", "dsps", "plls"):
+            _require_positive(field_name, getattr(self, field_name))
+
+
+@dataclass(frozen=True)
+class FPGAConfig:
+    """Configuration of the Centaur accelerator synthesized onto the FPGA.
+
+    Attributes:
+        frequency_hz: Fabric clock of the accelerator (200 MHz in the paper).
+        pe_tile_dim: GEMM tile edge handled by one processing engine (32).
+        mlp_pe_rows / mlp_pe_cols: The spatial PE array of the MLP unit (4x4).
+        interaction_pes: PEs dedicated to the feature-interaction batched GEMM.
+        sparse_index_sram_entries: Depth of the sparse-index SRAM array in the
+            EB-Streamer; bounds the number of gathers in flight.
+        reduction_lanes: Scalar ALUs in the embedding reduction unit.
+        mlp_weight_sram_bytes: SRAM provisioned for persistent MLP weights.
+        dense_feature_sram_bytes: SRAM for bottom-MLP input features.
+        mlp_input_sram_bytes: SRAM for feature-interaction outputs / top-MLP
+            inputs.
+        fabric: Resource capacity of the hosting FPGA.
+    """
+
+    name: str = "Centaur on Arria 10"
+    frequency_hz: float = 200e6
+    pe_tile_dim: int = 32
+    mlp_pe_rows: int = 4
+    mlp_pe_cols: int = 4
+    interaction_pes: int = 4
+    sparse_index_sram_entries: int = 393_216
+    reduction_lanes: int = 32
+    mlp_weight_sram_bytes: int = 640 * KIB
+    dense_feature_sram_bytes: int = 96 * KIB
+    mlp_input_sram_bytes: int = 104 * KIB
+    gemm_efficiency: float = 0.78
+    fabric: FPGAFabricConfig = field(default_factory=FPGAFabricConfig)
+
+    def __post_init__(self) -> None:
+        _require_positive("frequency_hz", self.frequency_hz)
+        _require_positive("pe_tile_dim", self.pe_tile_dim)
+        _require_positive("mlp_pe_rows", self.mlp_pe_rows)
+        _require_positive("mlp_pe_cols", self.mlp_pe_cols)
+        _require_positive("interaction_pes", self.interaction_pes)
+        _require_positive("sparse_index_sram_entries", self.sparse_index_sram_entries)
+        _require_positive("reduction_lanes", self.reduction_lanes)
+        _require_positive("mlp_weight_sram_bytes", self.mlp_weight_sram_bytes)
+        _require_positive("dense_feature_sram_bytes", self.dense_feature_sram_bytes)
+        _require_positive("mlp_input_sram_bytes", self.mlp_input_sram_bytes)
+        if not 0 < self.gemm_efficiency <= 1:
+            raise ConfigurationError(
+                f"gemm_efficiency must be in (0, 1], got {self.gemm_efficiency}"
+            )
+
+    @property
+    def total_pes(self) -> int:
+        """Processing engines across the MLP unit and feature-interaction unit."""
+        return self.mlp_pe_rows * self.mlp_pe_cols + self.interaction_pes
+
+    @property
+    def flops_per_pe_per_cycle(self) -> float:
+        """FLOPs one PE retires per cycle.
+
+        Calibrated so that the default 20-PE configuration at 200 MHz yields
+        the paper's aggregate 313 GFLOPS.
+        """
+        return 78.25
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate dense-accelerator throughput (about 313 GFLOPS)."""
+        return self.total_pes * self.flops_per_pe_per_cycle * self.frequency_hz
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Configuration of the discrete GPU used by the ``CPU-GPU`` design point."""
+
+    name: str = "NVIDIA V100 (DGX-1)"
+    peak_flops: float = 15.7e12
+    memory_bandwidth: float = 900.0 * GB
+    memory_capacity_bytes: int = 32 * GIB
+    pcie_bandwidth: float = 12.0 * GB
+    pcie_latency_s: float = 10e-6
+    kernel_launch_overhead_s: float = 10e-6
+    gemm_efficiency_small: float = 0.002
+    gemm_efficiency_large: float = 0.08
+
+    def __post_init__(self) -> None:
+        _require_positive("peak_flops", self.peak_flops)
+        _require_positive("memory_bandwidth", self.memory_bandwidth)
+        _require_positive("memory_capacity_bytes", self.memory_capacity_bytes)
+        _require_positive("pcie_bandwidth", self.pcie_bandwidth)
+        _require_positive("pcie_latency_s", self.pcie_latency_s)
+        _require_non_negative("kernel_launch_overhead_s", self.kernel_launch_overhead_s)
+        if not 0 < self.gemm_efficiency_small <= 1:
+            raise ConfigurationError("gemm_efficiency_small must be in (0, 1]")
+        if not 0 < self.gemm_efficiency_large <= 1:
+            raise ConfigurationError("gemm_efficiency_large must be in (0, 1]")
+        if self.gemm_efficiency_small > self.gemm_efficiency_large:
+            raise ConfigurationError(
+                "small-GEMM efficiency cannot exceed large-GEMM efficiency"
+            )
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Average power draw (Watts) of each design point, as in Table IV."""
+
+    cpu_only_watts: float = 80.0
+    cpu_gpu_cpu_watts: float = 91.0
+    cpu_gpu_gpu_watts: float = 56.0
+    centaur_watts: float = 74.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "cpu_only_watts",
+            "cpu_gpu_cpu_watts",
+            "cpu_gpu_gpu_watts",
+            "centaur_watts",
+        ):
+            _require_positive(field_name, getattr(self, field_name))
+
+    @property
+    def cpu_gpu_total_watts(self) -> float:
+        """Combined socket + device power of the ``CPU-GPU`` design point."""
+        return self.cpu_gpu_cpu_watts + self.cpu_gpu_gpu_watts
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Bundle of every hardware configuration for one evaluation platform."""
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    fpga: FPGAConfig = field(default_factory=FPGAConfig)
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+
+    def with_link(self, link: LinkConfig) -> "SystemConfig":
+        """Return a copy with a different chiplet-link configuration."""
+        return replace(self, link=link)
+
+    def with_fpga(self, fpga: FPGAConfig) -> "SystemConfig":
+        """Return a copy with a different FPGA/accelerator configuration."""
+        return replace(self, fpga=fpga)

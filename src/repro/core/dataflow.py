@@ -1,0 +1,226 @@
+"""Output-stationary tile schedule of the MLP unit (the paper's Fig. 12).
+
+The MLP control unit tiles the weight and input matrices into ``[32 x 32]``
+blocks and, at every computation step, broadcasts one weight tile to all the
+PEs in its row of the spatial array and one input tile to all the PEs in its
+column; each PE multiplies the pair it receives and accumulates the partial
+sum for the output tile it owns.
+
+:class:`OutputStationaryScheduler` materializes that schedule explicitly —
+which tile goes to which PE at which step — so it can be inspected, checked
+for conflicts, and used to derive the broadcast/SRAM traffic that the
+timing model charges for.  The functional GEMM of
+:class:`~repro.core.mlp_unit.MLPUnit` follows the same assignment of output
+tiles to PEs (round-robin over the array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ModelShapeError
+
+
+@dataclass(frozen=True)
+class TileAssignment:
+    """One PE's work item during one schedule step.
+
+    Attributes:
+        step: Global step index (output-tile wave and K-step combined).
+        pe_row / pe_col: Coordinates of the PE in the spatial array.
+        output_tile: ``(m_tile, n_tile)`` coordinates of the output tile the
+            PE is accumulating.
+        weight_tile: ``(k_tile, n_tile)`` coordinates of the weight tile
+            broadcast to the PE's column this step.
+        input_tile: ``(m_tile, k_tile)`` coordinates of the input tile
+            broadcast to the PE's row this step.
+    """
+
+    step: int
+    pe_row: int
+    pe_col: int
+    output_tile: Tuple[int, int]
+    weight_tile: Tuple[int, int]
+    input_tile: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """Aggregate statistics of one GEMM's schedule."""
+
+    m_tiles: int
+    n_tiles: int
+    k_tiles: int
+    num_steps: int
+    num_assignments: int
+    weight_tile_broadcasts: int
+    input_tile_broadcasts: int
+    max_concurrent_pes: int
+
+    @property
+    def total_output_tiles(self) -> int:
+        return self.m_tiles * self.n_tiles
+
+    @property
+    def broadcast_reuse_factor(self) -> float:
+        """Tile multiplies performed per tile broadcast (higher is better)."""
+        broadcasts = self.weight_tile_broadcasts + self.input_tile_broadcasts
+        if broadcasts == 0:
+            return 0.0
+        return self.num_assignments / broadcasts
+
+
+class OutputStationaryScheduler:
+    """Generates the Fig. 12 output-stationary schedule for one GEMM.
+
+    Args:
+        pe_rows / pe_cols: Spatial PE-array shape (4x4 in the paper).
+        tile_dim: Tile edge length (32).
+    """
+
+    def __init__(self, pe_rows: int = 4, pe_cols: int = 4, tile_dim: int = 32):
+        if pe_rows <= 0 or pe_cols <= 0:
+            raise ModelShapeError("PE array dimensions must be positive")
+        if tile_dim <= 0:
+            raise ModelShapeError(f"tile_dim must be positive, got {tile_dim}")
+        self.pe_rows = pe_rows
+        self.pe_cols = pe_cols
+        self.tile_dim = tile_dim
+
+    # ------------------------------------------------------------------
+    def tile_counts(self, m: int, n: int, k: int) -> Tuple[int, int, int]:
+        """Number of tiles along each GEMM dimension."""
+        if m <= 0 or n <= 0 or k <= 0:
+            raise ModelShapeError(f"GEMM dimensions must be positive, got {(m, n, k)}")
+        t = self.tile_dim
+        return -(-m // t), -(-n // t), -(-k // t)
+
+    def owner_of(self, m_tile: int, n_tile: int) -> Tuple[int, int]:
+        """PE that accumulates a given output tile (round-robin mapping).
+
+        This matches :meth:`repro.core.mlp_unit.MLPUnit._pe` so the schedule
+        describes exactly what the functional model executes.
+        """
+        return m_tile % self.pe_rows, n_tile % self.pe_cols
+
+    # ------------------------------------------------------------------
+    def schedule(self, m: int, n: int, k: int) -> Iterator[TileAssignment]:
+        """Yield every tile assignment of the GEMM in execution order.
+
+        Output tiles are processed in waves of up to ``pe_rows x pe_cols``
+        tiles; within a wave, the K dimension advances one tile per step and
+        the corresponding weight/input tiles are broadcast across the array.
+        """
+        m_tiles, n_tiles, k_tiles = self.tile_counts(m, n, k)
+        output_tiles = [
+            (m_tile, n_tile) for m_tile in range(m_tiles) for n_tile in range(n_tiles)
+        ]
+        # Group output tiles into waves such that each PE owns at most one
+        # tile per wave (a pure output-stationary schedule cannot co-schedule
+        # two tiles on the same PE; when the tile grid is narrower than the
+        # array, waves are simply smaller and part of the array idles).
+        waves: List[List[Tuple[int, int]]] = []
+        current: List[Tuple[int, int]] = []
+        owners_in_wave = set()
+        for tile in output_tiles:
+            owner = self.owner_of(*tile)
+            if owner in owners_in_wave:
+                waves.append(current)
+                current = []
+                owners_in_wave = set()
+            current.append(tile)
+            owners_in_wave.add(owner)
+        if current:
+            waves.append(current)
+
+        step = 0
+        for wave in waves:
+            for k_tile in range(k_tiles):
+                for m_tile, n_tile in wave:
+                    pe_row, pe_col = self.owner_of(m_tile, n_tile)
+                    yield TileAssignment(
+                        step=step,
+                        pe_row=pe_row,
+                        pe_col=pe_col,
+                        output_tile=(m_tile, n_tile),
+                        weight_tile=(k_tile, n_tile),
+                        input_tile=(m_tile, k_tile),
+                    )
+                step += 1
+
+    # ------------------------------------------------------------------
+    def summarize(self, m: int, n: int, k: int) -> ScheduleSummary:
+        """Aggregate broadcast/occupancy statistics of the schedule."""
+        m_tiles, n_tiles, k_tiles = self.tile_counts(m, n, k)
+        assignments = 0
+        steps: Dict[int, int] = {}
+        weight_broadcasts = set()
+        input_broadcasts = set()
+        for assignment in self.schedule(m, n, k):
+            assignments += 1
+            steps[assignment.step] = steps.get(assignment.step, 0) + 1
+            weight_broadcasts.add((assignment.step, assignment.weight_tile))
+            input_broadcasts.add((assignment.step, assignment.input_tile))
+        return ScheduleSummary(
+            m_tiles=m_tiles,
+            n_tiles=n_tiles,
+            k_tiles=k_tiles,
+            num_steps=len(steps),
+            num_assignments=assignments,
+            weight_tile_broadcasts=len(weight_broadcasts),
+            input_tile_broadcasts=len(input_broadcasts),
+            max_concurrent_pes=max(steps.values()) if steps else 0,
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, m: int, n: int, k: int) -> List[str]:
+        """Check schedule invariants; returns a list of violations (empty = ok).
+
+        Invariants checked:
+
+        * every output tile receives exactly ``k_tiles`` accumulation steps,
+        * a PE never receives two different assignments in the same step,
+        * a PE only ever works on output tiles it owns,
+        * weight/input tile coordinates stay in range.
+        """
+        m_tiles, n_tiles, k_tiles = self.tile_counts(m, n, k)
+        violations: List[str] = []
+        accumulations: Dict[Tuple[int, int], int] = {}
+        busy: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for assignment in self.schedule(m, n, k):
+            accumulations[assignment.output_tile] = (
+                accumulations.get(assignment.output_tile, 0) + 1
+            )
+            key = (assignment.step, assignment.pe_row, assignment.pe_col)
+            if key in busy and busy[key] != assignment.output_tile:
+                violations.append(
+                    f"PE {key[1:]} double-booked at step {assignment.step}"
+                )
+            busy[key] = assignment.output_tile
+            if self.owner_of(*assignment.output_tile) != (
+                assignment.pe_row,
+                assignment.pe_col,
+            ):
+                violations.append(
+                    f"output tile {assignment.output_tile} scheduled on a foreign PE"
+                )
+            k_w, n_w = assignment.weight_tile
+            m_i, k_i = assignment.input_tile
+            if not (0 <= k_w < k_tiles and 0 <= n_w < n_tiles):
+                violations.append(f"weight tile {assignment.weight_tile} out of range")
+            if not (0 <= m_i < m_tiles and 0 <= k_i < k_tiles):
+                violations.append(f"input tile {assignment.input_tile} out of range")
+            if k_w != k_i:
+                violations.append(
+                    f"weight/input K tiles disagree at step {assignment.step}"
+                )
+        for m_tile in range(m_tiles):
+            for n_tile in range(n_tiles):
+                count = accumulations.get((m_tile, n_tile), 0)
+                if count != k_tiles:
+                    violations.append(
+                        f"output tile {(m_tile, n_tile)} accumulated {count} times, "
+                        f"expected {k_tiles}"
+                    )
+        return violations

@@ -1,0 +1,102 @@
+"""Feature-interaction unit: the batched GEMM of the dense accelerator complex.
+
+The unit concatenates the bottom-MLP output with the reduced embeddings
+forwarded by the EB-Streamer, computes all pairwise dot products with a
+small batched ``R @ R^T`` GEMM on its dedicated PEs, and stores the
+concatenated result into the top-MLP input SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelShapeError
+
+
+@dataclass(frozen=True)
+class InteractionTiming:
+    """Cycle cost of the feature-interaction stage for one batch."""
+
+    flops: int
+    cycles: int
+    utilization: float
+
+    def latency_s(self, frequency_hz: float) -> float:
+        return self.cycles / frequency_hz
+
+
+class FeatureInteractionUnit:
+    """Dedicated PEs computing DLRM's dot-product feature interaction.
+
+    Args:
+        num_pes: Processing engines assigned to the batched GEMM (4 in the
+            paper's configuration).
+        flops_per_pe_per_cycle: Sustained per-PE throughput.
+        packing_efficiency: Fraction of the PEs' throughput usable on the
+            small per-sample Gram matrices after packing samples together
+            (the per-sample matrices are far smaller than a 32x32 tile).
+        fill_cycles: Fixed start-up cost per batch.
+    """
+
+    def __init__(
+        self,
+        num_pes: int = 4,
+        flops_per_pe_per_cycle: float = 78.25,
+        packing_efficiency: float = 0.6,
+        fill_cycles: int = 64,
+    ):
+        if num_pes <= 0:
+            raise ConfigurationError(f"num_pes must be positive, got {num_pes}")
+        if not 0.0 < packing_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"packing_efficiency must be in (0, 1], got {packing_efficiency}"
+            )
+        if fill_cycles < 0:
+            raise ConfigurationError(f"fill_cycles must be non-negative, got {fill_cycles}")
+        self.num_pes = num_pes
+        self.flops_per_pe_per_cycle = flops_per_pe_per_cycle
+        self.packing_efficiency = packing_efficiency
+        self.fill_cycles = fill_cycles
+
+    # ------------------------------------------------------------------
+    # Functional path
+    # ------------------------------------------------------------------
+    def forward(self, bottom_output: np.ndarray, reduced_embeddings: np.ndarray) -> np.ndarray:
+        """Compute the concatenated interaction output (top-MLP input).
+
+        The layout matches the software model: the bottom-MLP vector first,
+        then the strictly-lower-triangle pair dot products.
+        """
+        bottom_output = np.asarray(bottom_output, dtype=np.float32)
+        reduced_embeddings = np.asarray(reduced_embeddings, dtype=np.float32)
+        if bottom_output.ndim != 2 or reduced_embeddings.ndim != 3:
+            raise ModelShapeError(
+                "expected bottom [batch, dim] and embeddings [batch, tables, dim], got "
+                f"{bottom_output.shape} and {reduced_embeddings.shape}"
+            )
+        if bottom_output.shape[0] != reduced_embeddings.shape[0]:
+            raise ModelShapeError("batch size mismatch between bottom output and embeddings")
+        if bottom_output.shape[1] != reduced_embeddings.shape[2]:
+            raise ModelShapeError("embedding dimension mismatch")
+        stacked = np.concatenate([bottom_output[:, None, :], reduced_embeddings], axis=1)
+        gram = np.einsum("bnd,bmd->bnm", stacked, stacked)
+        num_vectors = stacked.shape[1]
+        rows, cols = np.tril_indices(num_vectors, k=-1)
+        pairs = gram[:, rows, cols]
+        return np.concatenate([bottom_output, pairs], axis=1).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timing(self, num_tables: int, embedding_dim: int, batch_size: int) -> InteractionTiming:
+        """Cycle cost of the batched Gram-matrix GEMM for one batch."""
+        if num_tables <= 0 or embedding_dim <= 0 or batch_size <= 0:
+            raise ModelShapeError("num_tables, embedding_dim and batch_size must be positive")
+        num_vectors = num_tables + 1
+        pairs = num_vectors * (num_vectors - 1) // 2
+        flops = 2 * pairs * embedding_dim * batch_size
+        throughput = self.num_pes * self.flops_per_pe_per_cycle * self.packing_efficiency
+        cycles = int(np.ceil(flops / throughput)) + self.fill_cycles
+        return InteractionTiming(flops=flops, cycles=cycles, utilization=self.packing_efficiency)

@@ -1,0 +1,64 @@
+"""Processing engine (PE): a fixed-size square matrix-multiply block.
+
+Each PE wraps one instance of the FPGA vendor's floating-point matrix
+multiplication IP configured for 32x32 operands.  The MLP unit composes a
+4x4 spatial array of these, and the feature-interaction unit uses four more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelShapeError
+
+
+class ProcessingEngine:
+    """One 32x32 (by default) matrix-multiply engine with cycle accounting.
+
+    Args:
+        tile_dim: Edge length of the square operand tiles.
+        flops_per_cycle: Sustained FLOPs per cycle of the underlying IP core
+            (78.25 for the paper's 313 GFLOPS aggregate across 20 PEs at
+            200 MHz).
+    """
+
+    def __init__(self, tile_dim: int = 32, flops_per_cycle: float = 78.25):
+        if tile_dim <= 0:
+            raise ConfigurationError(f"tile_dim must be positive, got {tile_dim}")
+        if flops_per_cycle <= 0:
+            raise ConfigurationError(
+                f"flops_per_cycle must be positive, got {flops_per_cycle}"
+            )
+        self.tile_dim = tile_dim
+        self.flops_per_cycle = flops_per_cycle
+        self.tile_ops = 0
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def flops_per_tile_op(self) -> int:
+        """FLOPs of one full tile multiply (2 * T^3)."""
+        return 2 * self.tile_dim ** 3
+
+    @property
+    def cycles_per_tile_op(self) -> int:
+        """Cycles one tile multiply occupies the PE."""
+        return int(np.ceil(self.flops_per_tile_op / self.flops_per_cycle))
+
+    # ------------------------------------------------------------------
+    def multiply(self, tile_a: np.ndarray, tile_b: np.ndarray) -> np.ndarray:
+        """Multiply two (possibly zero-padded) tiles of shape ``[T, T]``."""
+        tile_a = np.asarray(tile_a, dtype=np.float32)
+        tile_b = np.asarray(tile_b, dtype=np.float32)
+        expected = (self.tile_dim, self.tile_dim)
+        if tile_a.shape != expected or tile_b.shape != expected:
+            raise ModelShapeError(
+                f"PE operands must both be {expected}, got {tile_a.shape} and {tile_b.shape}"
+            )
+        self.tile_ops += 1
+        self.cycles += self.cycles_per_tile_op
+        return tile_a @ tile_b
+
+    def reset_counters(self) -> None:
+        self.tile_ops = 0
+        self.cycles = 0

@@ -1,0 +1,89 @@
+"""Embedding reduction unit (EB-RU): on-the-fly element-wise accumulation.
+
+Vectors stream back from the CPU memory in gather order; the reduction unit
+adds each arriving vector into the accumulator of the sample it belongs to,
+so by the time the last vector of a table lands, the reduced embedding is
+already complete ("reduction on-the-fly").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class EmbeddingReductionUnit:
+    """A bank of scalar FP adders that accumulates streamed embedding vectors.
+
+    Args:
+        embedding_dim: Width of the embedding vectors being reduced.
+        num_lanes: Scalar ALUs available; ``ceil(dim / lanes)`` cycles are
+            needed per arriving vector.
+        frequency_hz: Accelerator clock, used for cycle->time conversion.
+    """
+
+    def __init__(self, embedding_dim: int, num_lanes: int = 32, frequency_hz: float = 200e6):
+        if embedding_dim <= 0:
+            raise ConfigurationError(f"embedding_dim must be positive, got {embedding_dim}")
+        if num_lanes <= 0:
+            raise ConfigurationError(f"num_lanes must be positive, got {num_lanes}")
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency_hz must be positive, got {frequency_hz}")
+        self.embedding_dim = embedding_dim
+        self.num_lanes = num_lanes
+        self.frequency_hz = frequency_hz
+        self._accumulators: Optional[np.ndarray] = None
+        self.vectors_reduced = 0
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    def begin(self, batch_size: int) -> None:
+        """Reset the per-sample accumulators for a new table."""
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        self._accumulators = np.zeros((batch_size, self.embedding_dim), dtype=np.float32)
+
+    def accumulate(self, sample_index: int, vector: np.ndarray) -> None:
+        """Add one arriving embedding vector into a sample's accumulator."""
+        if self._accumulators is None:
+            raise SimulationError("begin() must be called before accumulate()")
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        if vector.shape[0] != self.embedding_dim:
+            raise SimulationError(
+                f"vector has {vector.shape[0]} elements, expected {self.embedding_dim}"
+            )
+        if not 0 <= sample_index < self._accumulators.shape[0]:
+            raise SimulationError(
+                f"sample index {sample_index} out of range for batch "
+                f"{self._accumulators.shape[0]}"
+            )
+        self._accumulators[sample_index] += vector
+        self.vectors_reduced += 1
+        self.cycles += self.cycles_per_vector
+
+    def result(self) -> np.ndarray:
+        """The reduced embeddings, shape ``[batch, dim]``."""
+        if self._accumulators is None:
+            raise SimulationError("begin() must be called before result()")
+        return self._accumulators.copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles_per_vector(self) -> int:
+        """Cycles needed to accumulate one arriving vector."""
+        return -(-self.embedding_dim // self.num_lanes)
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Peak reduction throughput; must exceed the link's gather bandwidth."""
+        # One vector (dim * 4 bytes) completes every `cycles_per_vector` cycles.
+        return (self.embedding_dim * 4) * self.frequency_hz / self.cycles_per_vector
+
+    def reduction_time_s(self, num_vectors: int) -> float:
+        """Time to reduce ``num_vectors`` if reduction were the only bottleneck."""
+        if num_vectors < 0:
+            raise SimulationError(f"num_vectors must be non-negative, got {num_vectors}")
+        return num_vectors * self.cycles_per_vector / self.frequency_hz

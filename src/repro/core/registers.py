@@ -1,0 +1,70 @@
+"""Base-pointer register file (``BPregs``) of the sparse accelerator complex.
+
+At boot the CPU uses MMIO to hand the FPGA the virtual addresses of the key
+data structures (sparse index arrays, embedding tables, MLP weights, dense
+features).  The gather unit and the dense complex then index this register
+file to compute fetch addresses entirely in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+@dataclass
+class BasePointerRegisters:
+    """A small named register file holding base (virtual) addresses.
+
+    Attributes:
+        capacity: Maximum number of registers (the RTL provisions one per
+            embedding table plus a handful of fixed pointers).
+    """
+
+    capacity: int = 128
+    _registers: Dict[str, int] = field(default_factory=dict, init=False)
+    writes: int = field(default=0, init=False)
+    reads: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {self.capacity}")
+
+    # ------------------------------------------------------------------
+    def write(self, name: str, address: int) -> None:
+        """Write a base pointer (performed over MMIO by the host driver)."""
+        if not name:
+            raise ConfigurationError("register name must be a non-empty string")
+        if address < 0:
+            raise ConfigurationError(f"address must be non-negative, got {address}")
+        if name not in self._registers and len(self._registers) >= self.capacity:
+            raise CapacityError(
+                f"base-pointer register file is full ({self.capacity} entries); "
+                f"cannot add {name!r}"
+            )
+        self._registers[name] = int(address)
+        self.writes += 1
+
+    def read(self, name: str) -> int:
+        """Read a base pointer (performed by the gather unit / dense complex)."""
+        if name not in self._registers:
+            raise KeyError(f"no base pointer named {name!r} has been written")
+        self.reads += 1
+        return self._registers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registers
+
+    def names(self) -> List[str]:
+        """Names of all populated registers."""
+        return list(self._registers.keys())
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._registers)
+
+    def clear(self) -> None:
+        """Reset the register file (device re-initialization)."""
+        self._registers.clear()

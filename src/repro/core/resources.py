@@ -1,0 +1,291 @@
+"""FPGA resource estimation for the Centaur accelerator (Tables II and III).
+
+The estimator derives per-module logic-cell, block-memory and DSP budgets
+from the architectural parameters in :class:`~repro.config.system.FPGAConfig`
+using per-unit costs calibrated against the paper's synthesis results
+(Table III), then aggregates them into device-level ALM / block-memory /
+RAM-block / DSP / PLL utilization (Table II) including the platform shell
+(the HARP "blue bitstream" interface logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config.system import FPGAConfig
+from repro.errors import ResourceEstimationError
+
+
+@dataclass(frozen=True)
+class ModuleResources:
+    """Synthesis footprint of one accelerator module (a Table III row)."""
+
+    name: str
+    group: str
+    lc_comb: int
+    lc_reg: int
+    block_memory_bits: int
+    dsps: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("lc_comb", "lc_reg", "block_memory_bits", "dsps"):
+            if getattr(self, field_name) < 0:
+                raise ResourceEstimationError(
+                    f"{self.name}: {field_name} must be non-negative"
+                )
+
+    def merge(self, other: "ModuleResources", name: str, group: str) -> "ModuleResources":
+        """Sum two module footprints under a new name."""
+        return ModuleResources(
+            name=name,
+            group=group,
+            lc_comb=self.lc_comb + other.lc_comb,
+            lc_reg=self.lc_reg + other.lc_reg,
+            block_memory_bits=self.block_memory_bits + other.block_memory_bits,
+            dsps=self.dsps + other.dsps,
+        )
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Device-level utilization (a Table II row pair)."""
+
+    alms: int
+    block_memory_bits: int
+    ram_blocks: int
+    dsps: int
+    plls: int
+    alm_utilization: float
+    block_memory_utilization: float
+    ram_block_utilization: float
+    dsp_utilization: float
+    pll_utilization: float
+
+
+class FPGAResourceModel:
+    """Estimates Centaur's FPGA resource usage from its configuration.
+
+    Per-unit constants (logic cells per PE, registers per reduction lane,
+    and so on) are calibrated so that the default configuration reproduces
+    the paper's Table III within a few percent; changing the configuration
+    (more PEs, deeper index SRAM, wider reduction) scales the estimate
+    accordingly, which the design-space benchmarks exploit.
+    """
+
+    # -- calibrated per-unit costs (from Table III divided by unit counts) --
+    BASE_PTR_COMB = 98
+    BASE_PTR_REG = 211
+    GATHER_UNIT_COMB = 295
+    GATHER_UNIT_REG = 216
+    REDUCTION_COMB = 108
+    REDUCTION_REG_PER_LANE = 258
+    REDUCTION_DSP_PER_LANE = 3
+    SPARSE_SRAM_COMB = 350
+    SPARSE_SRAM_REG = 98
+    PE_COMB = 2_500
+    PE_REG = 8_192
+    PE_DSP = 32
+    MLP_PE_MEM_BITS = 143_750
+    INTERACTION_PE_REG = 8_250
+    INTERACTION_PE_MEM_BITS = 148_250
+    DENSE_SRAM_COMB = 1_000
+    DENSE_SRAM_REG = 11_000
+    DENSE_SRAM_DSP = 48
+    WEIGHT_SRAM_COMB = 13
+    WEIGHT_SRAM_REG = 77
+    MISC_COMB = 587
+    MISC_REG = 6_000
+    MISC_MEM_BITS = 608_000
+    SHELL_ALMS = 18_500
+    SHELL_MEM_BITS = 800_000
+    PLLS_USED = 48
+    ALM_PACKING_FACTOR = 1.15
+    RAM_BLOCK_BITS = 20_480
+    RAM_BLOCK_FRAGMENTATION = 1.9
+
+    def __init__(self, fpga: FPGAConfig):
+        self.fpga = fpga
+
+    # ------------------------------------------------------------------
+    # Table III: per-module breakdown
+    # ------------------------------------------------------------------
+    def sparse_modules(self) -> List[ModuleResources]:
+        """Modules of the sparse accelerator complex (EB-Streamer)."""
+        fpga = self.fpga
+        return [
+            ModuleResources(
+                name="Base ptr reg.",
+                group="Sparse",
+                lc_comb=self.BASE_PTR_COMB,
+                lc_reg=self.BASE_PTR_REG,
+                block_memory_bits=0,
+                dsps=0,
+            ),
+            ModuleResources(
+                name="Gather unit",
+                group="Sparse",
+                lc_comb=self.GATHER_UNIT_COMB,
+                lc_reg=self.GATHER_UNIT_REG,
+                block_memory_bits=0,
+                dsps=0,
+            ),
+            ModuleResources(
+                name="Reduction unit",
+                group="Sparse",
+                lc_comb=self.REDUCTION_COMB,
+                lc_reg=self.REDUCTION_REG_PER_LANE * fpga.reduction_lanes,
+                block_memory_bits=0,
+                dsps=self.REDUCTION_DSP_PER_LANE * fpga.reduction_lanes,
+            ),
+            ModuleResources(
+                name="SRAM arrays",
+                group="Sparse",
+                lc_comb=self.SPARSE_SRAM_COMB,
+                lc_reg=self.SPARSE_SRAM_REG,
+                block_memory_bits=fpga.sparse_index_sram_entries * 32,
+                dsps=0,
+            ),
+        ]
+
+    def dense_modules(self) -> List[ModuleResources]:
+        """Modules of the dense accelerator complex."""
+        fpga = self.fpga
+        mlp_pes = fpga.mlp_pe_rows * fpga.mlp_pe_cols
+        dense_sram_bits = (fpga.dense_feature_sram_bytes + fpga.mlp_input_sram_bytes) * 8
+        return [
+            ModuleResources(
+                name="MLP unit",
+                group="Dense",
+                lc_comb=self.PE_COMB * mlp_pes,
+                lc_reg=self.PE_REG * mlp_pes,
+                block_memory_bits=self.MLP_PE_MEM_BITS * mlp_pes,
+                dsps=self.PE_DSP * mlp_pes,
+            ),
+            ModuleResources(
+                name="Feat. int. unit",
+                group="Dense",
+                lc_comb=self.PE_COMB * fpga.interaction_pes,
+                lc_reg=self.INTERACTION_PE_REG * fpga.interaction_pes,
+                block_memory_bits=self.INTERACTION_PE_MEM_BITS * fpga.interaction_pes,
+                dsps=self.PE_DSP * fpga.interaction_pes,
+            ),
+            ModuleResources(
+                name="SRAM arrays",
+                group="Dense",
+                lc_comb=self.DENSE_SRAM_COMB,
+                lc_reg=self.DENSE_SRAM_REG,
+                block_memory_bits=dense_sram_bits,
+                dsps=self.DENSE_SRAM_DSP,
+            ),
+            ModuleResources(
+                name="Weights",
+                group="Dense",
+                lc_comb=self.WEIGHT_SRAM_COMB,
+                lc_reg=self.WEIGHT_SRAM_REG,
+                block_memory_bits=fpga.mlp_weight_sram_bytes * 8,
+                dsps=0,
+            ),
+        ]
+
+    def misc_modules(self) -> List[ModuleResources]:
+        """Control/interface logic that belongs to neither complex."""
+        return [
+            ModuleResources(
+                name="Misc.",
+                group="Others",
+                lc_comb=self.MISC_COMB,
+                lc_reg=self.MISC_REG,
+                block_memory_bits=self.MISC_MEM_BITS,
+                dsps=0,
+            )
+        ]
+
+    def all_modules(self) -> List[ModuleResources]:
+        """Every module row of Table III, in paper order."""
+        return self.sparse_modules() + self.dense_modules() + self.misc_modules()
+
+    def group_totals(self) -> Dict[str, ModuleResources]:
+        """Per-group ("Sparse"/"Dense"/"Others") totals."""
+        totals: Dict[str, ModuleResources] = {}
+        for module in self.all_modules():
+            if module.group not in totals:
+                totals[module.group] = ModuleResources(
+                    name=f"{module.group} total",
+                    group=module.group,
+                    lc_comb=0,
+                    lc_reg=0,
+                    block_memory_bits=0,
+                    dsps=0,
+                )
+            totals[module.group] = totals[module.group].merge(
+                module, name=f"{module.group} total", group=module.group
+            )
+        return totals
+
+    # ------------------------------------------------------------------
+    # Table II: device-level utilization
+    # ------------------------------------------------------------------
+    def module_alms(self, module: ModuleResources) -> int:
+        """Approximate ALM count of one module.
+
+        Arria 10 ALMs contain a fracturable LUT plus two registers, so the
+        module-level ALM count is driven by whichever of combinational logic
+        or register pairs dominates, inflated by a packing factor.
+        """
+        return int(
+            round(max(module.lc_comb, module.lc_reg / 2.0) * self.ALM_PACKING_FACTOR)
+        )
+
+    def module_ram_blocks(self, module: ModuleResources) -> int:
+        """Approximate M20K RAM-block count of one module."""
+        if module.block_memory_bits == 0:
+            return 0
+        ideal = module.block_memory_bits / self.RAM_BLOCK_BITS
+        return int(round(ideal * self.RAM_BLOCK_FRAGMENTATION))
+
+    def report(self) -> ResourceReport:
+        """Aggregate device utilization, including the platform shell."""
+        fabric = self.fpga.fabric
+        modules = self.all_modules()
+        alms = sum(self.module_alms(module) for module in modules) + self.SHELL_ALMS
+        memory_bits = (
+            sum(module.block_memory_bits for module in modules) + self.SHELL_MEM_BITS
+        )
+        ram_blocks = sum(self.module_ram_blocks(module) for module in modules)
+        ram_blocks += int(
+            round(self.SHELL_MEM_BITS / self.RAM_BLOCK_BITS * self.RAM_BLOCK_FRAGMENTATION)
+        )
+        dsps = sum(module.dsps for module in modules)
+        plls = self.PLLS_USED
+
+        if alms > fabric.alms:
+            raise ResourceEstimationError(
+                f"design needs {alms} ALMs but the fabric only has {fabric.alms}"
+            )
+        if memory_bits > fabric.block_memory_bits:
+            raise ResourceEstimationError(
+                f"design needs {memory_bits} block-memory bits but the fabric only has "
+                f"{fabric.block_memory_bits}"
+            )
+        if ram_blocks > fabric.ram_blocks:
+            raise ResourceEstimationError(
+                f"design needs {ram_blocks} RAM blocks but the fabric only has "
+                f"{fabric.ram_blocks}"
+            )
+        if dsps > fabric.dsps:
+            raise ResourceEstimationError(
+                f"design needs {dsps} DSPs but the fabric only has {fabric.dsps}"
+            )
+        return ResourceReport(
+            alms=alms,
+            block_memory_bits=memory_bits,
+            ram_blocks=ram_blocks,
+            dsps=dsps,
+            plls=plls,
+            alm_utilization=alms / fabric.alms,
+            block_memory_utilization=memory_bits / fabric.block_memory_bits,
+            ram_block_utilization=ram_blocks / fabric.ram_blocks,
+            dsp_utilization=dsps / fabric.dsps,
+            pll_utilization=plls / fabric.plls,
+        )

@@ -1,0 +1,101 @@
+"""On-chip SRAM buffer model used by both accelerator complexes.
+
+SRAM buffers serve two purposes in the reproduction: they hold real data for
+the functional model (weights, dense features, sparse indices, interaction
+outputs) and they provide the capacity accounting that feeds the FPGA
+resource estimator (block-memory bits of Tables II/III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class SRAMBuffer:
+    """A capacity-checked on-chip buffer holding named numpy arrays.
+
+    Args:
+        name: Buffer identifier (e.g. ``"SRAM_MLPmodel"``).
+        capacity_bytes: Physical capacity; writes that would exceed it raise
+            :class:`~repro.errors.CapacityError`, mirroring what would simply
+            not fit on the device.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._arrays: Dict[str, np.ndarray] = {}
+        self.total_writes = 0
+        self.total_reads = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(array.nbytes for array in self._arrays.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.capacity_bytes * 8
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the buffer currently holding data."""
+        return self.used_bytes / self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    def write(self, key: str, array: np.ndarray, allow_replace: bool = True) -> None:
+        """Store an array under ``key``, enforcing the capacity limit."""
+        array = np.ascontiguousarray(array)
+        existing = self._arrays.get(key)
+        if existing is not None and not allow_replace:
+            raise ConfigurationError(f"{self.name}: key {key!r} already present")
+        occupied_by_others = self.used_bytes - (existing.nbytes if existing is not None else 0)
+        if occupied_by_others + array.nbytes > self.capacity_bytes:
+            raise CapacityError(
+                f"{self.name}: writing {key!r} ({array.nbytes} bytes) exceeds capacity "
+                f"({self.capacity_bytes} bytes, {occupied_by_others} in use)"
+            )
+        self._arrays[key] = array
+        self.total_writes += 1
+
+    def read(self, key: str) -> np.ndarray:
+        """Read a stored array."""
+        if key not in self._arrays:
+            raise KeyError(f"{self.name}: no array stored under {key!r}")
+        self.total_reads += 1
+        return self._arrays[key]
+
+    def maybe_read(self, key: str) -> Optional[np.ndarray]:
+        """Read a stored array, returning ``None`` when absent."""
+        if key not in self._arrays:
+            return None
+        return self.read(key)
+
+    def discard(self, key: str) -> None:
+        """Drop an array (e.g. per-inference inputs after use)."""
+        self._arrays.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop everything (device reset)."""
+        self._arrays.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._arrays
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SRAMBuffer(name={self.name!r}, capacity={self.capacity_bytes}, "
+            f"used={self.used_bytes})"
+        )

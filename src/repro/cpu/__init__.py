@@ -1,0 +1,25 @@
+"""CPU-only performance model (the paper's baseline design point).
+
+The model mirrors how DLRM executes on a Xeon-class server with a
+PyTorch/Caffe2 backend: embedding tables are processed one operator call at
+a time with OpenMP parallelism across the batch dimension, MLPs run as
+AVX GEMMs, and the memory system serves sparse gathers with the limited
+memory-level parallelism a latency-optimized core can sustain.
+"""
+
+from repro.cpu.gemm import CPUGemmModel, GemmEstimate
+from repro.cpu.threads import ThreadPoolModel
+from repro.cpu.embedding_exec import EmbeddingExecutionModel, EmbeddingExecutionEstimate
+from repro.cpu.cpu_runner import CPUOnlyRunner
+from repro.cpu.trace_exec import TraceDrivenEmbeddingSimulator, TraceDrivenProfile
+
+__all__ = [
+    "CPUGemmModel",
+    "GemmEstimate",
+    "ThreadPoolModel",
+    "EmbeddingExecutionModel",
+    "EmbeddingExecutionEstimate",
+    "CPUOnlyRunner",
+    "TraceDrivenEmbeddingSimulator",
+    "TraceDrivenProfile",
+]

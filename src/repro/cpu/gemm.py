@@ -1,0 +1,112 @@
+"""CPU GEMM performance model for the MLP and feature-interaction layers.
+
+Dense layers on the CPU are compute-bound (their weights fit in the LLC, see
+Figure 6), so their latency is FLOPs over the *sustained* AVX throughput.
+Sustained throughput depends heavily on how much weight reuse the batch size
+exposes: a batch-1 inference degenerates to GEMV-like operations that run at
+a few percent of peak, while a batch of 128 approaches the efficiency of a
+well-blocked small GEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.models import DLRMConfig
+from repro.config.system import CPUConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GemmEstimate:
+    """Latency estimate of the dense portion of one inference batch."""
+
+    latency_s: float
+    flops: float
+    sustained_flops: float
+    efficiency: float
+    overhead_s: float
+
+    @property
+    def compute_s(self) -> float:
+        return self.latency_s - self.overhead_s
+
+
+@dataclass(frozen=True)
+class CPUGemmModel:
+    """Roofline-with-efficiency-curve model of CPU GEMM execution.
+
+    Attributes:
+        cpu: Host CPU configuration (provides peak FLOP/s).
+        efficiency_batch1: Fraction of peak sustained at batch size 1.
+        efficiency_large_batch: Asymptotic fraction of peak for large batches.
+        batch_half_point: Batch size at which half of the asymptotic gain is
+            realized.
+        per_layer_overhead_s: Operator dispatch/framework overhead per layer.
+    """
+
+    cpu: CPUConfig
+    efficiency_batch1: float = 0.008
+    efficiency_large_batch: float = 0.05
+    batch_half_point: float = 24.0
+    per_layer_overhead_s: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency_batch1 <= 1.0:
+            raise SimulationError("efficiency_batch1 must be in (0, 1]")
+        if not 0.0 < self.efficiency_large_batch <= 1.0:
+            raise SimulationError("efficiency_large_batch must be in (0, 1]")
+        if self.efficiency_batch1 > self.efficiency_large_batch:
+            raise SimulationError(
+                "batch-1 efficiency cannot exceed large-batch efficiency"
+            )
+        if self.batch_half_point <= 0:
+            raise SimulationError("batch_half_point must be positive")
+        if self.per_layer_overhead_s < 0:
+            raise SimulationError("per_layer_overhead_s must be non-negative")
+
+    # ------------------------------------------------------------------
+    def efficiency(self, batch_size: int) -> float:
+        """Sustained fraction of peak FLOP/s for a batch size."""
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        gain = self.efficiency_large_batch - self.efficiency_batch1
+        saturation = (batch_size - 1) / (batch_size - 1 + self.batch_half_point)
+        return self.efficiency_batch1 + gain * saturation
+
+    def sustained_flops(self, batch_size: int) -> float:
+        """Sustained FLOP/s for a batch size."""
+        return self.cpu.peak_flops * self.efficiency(batch_size)
+
+    # ------------------------------------------------------------------
+    def estimate(self, flops: float, batch_size: int, num_layers: int) -> GemmEstimate:
+        """Latency of a dense workload of ``flops`` total FLOPs.
+
+        Args:
+            flops: Total FLOPs across the batch (MLPs plus interaction).
+            batch_size: Input batch size (drives the efficiency curve).
+            num_layers: Number of distinct GEMM/operator launches (drives the
+                fixed overhead).
+        """
+        if flops < 0:
+            raise SimulationError(f"flops must be non-negative, got {flops}")
+        if num_layers < 0:
+            raise SimulationError(f"num_layers must be non-negative, got {num_layers}")
+        sustained = self.sustained_flops(batch_size)
+        compute_s = flops / sustained if flops else 0.0
+        overhead_s = num_layers * self.per_layer_overhead_s
+        return GemmEstimate(
+            latency_s=compute_s + overhead_s,
+            flops=flops,
+            sustained_flops=sustained,
+            efficiency=self.efficiency(batch_size),
+            overhead_s=overhead_s,
+        )
+
+    def estimate_model(self, model: DLRMConfig, batch_size: int) -> GemmEstimate:
+        """Latency of all dense layers (bottom MLP, interaction, top MLP)."""
+        flops = model.total_dense_flops_per_sample() * batch_size
+        num_layers = (
+            model.bottom_mlp.num_layers + model.top_mlp.num_layers + 1  # interaction
+        )
+        return self.estimate(flops, batch_size, num_layers)

@@ -1,0 +1,59 @@
+"""Thread-level-parallelism model of the OpenMP inference backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import CPUConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ThreadPoolModel:
+    """Models how many worker threads the DLRM backend keeps busy.
+
+    The PyTorch/Caffe2 embedding operators parallelize over the *batch*
+    dimension within one table's ``SparseLengthsSum`` call (tables are
+    dispatched sequentially), so a batch of one sample runs the gather loop
+    on a single core regardless of the table count — one of the reasons the
+    paper observes such poor memory-level parallelism at small batch sizes.
+
+    Attributes:
+        cpu: The host CPU configuration.
+        parallel_efficiency: Fraction of ideal scaling actually achieved when
+            multiple threads are active (synchronization and imbalance).
+    """
+
+    cpu: CPUConfig
+    parallel_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise SimulationError(
+                f"parallel_efficiency must be in (0, 1], got {self.parallel_efficiency}"
+            )
+
+    def threads_for_batch(self, batch_size: int) -> int:
+        """Worker threads active for a batch-parallel operator."""
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        return max(1, min(self.cpu.num_cores, batch_size))
+
+    def effective_parallelism(self, batch_size: int) -> float:
+        """Threads scaled by parallel efficiency (1.0 for a single thread)."""
+        threads = self.threads_for_batch(batch_size)
+        if threads == 1:
+            return 1.0
+        return 1.0 + (threads - 1) * self.parallel_efficiency
+
+    def outstanding_misses(self, batch_size: int) -> float:
+        """Cache-line misses the active threads can keep in flight."""
+        return self.threads_for_batch(batch_size) * self.cpu.mshrs_per_core
+
+    def per_thread_share(self, total_work_items: int, batch_size: int) -> float:
+        """Work items executed by the busiest thread."""
+        if total_work_items < 0:
+            raise SimulationError(
+                f"total_work_items must be non-negative, got {total_work_items}"
+            )
+        return total_work_items / self.effective_parallelism(batch_size)

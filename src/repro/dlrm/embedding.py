@@ -1,0 +1,266 @@
+"""Embedding tables and the ``SparseLengthsSum`` gather/reduce operator.
+
+The paper's Fig. 2 defines the operator this module implements: for every
+sample in a batch, gather the rows named by a sparse index array and reduce
+them element-wise into a single vector.
+
+Two table storage strategies are provided:
+
+* :class:`DenseEmbeddingTable` materializes the table as a numpy array —
+  faithful, but a full Table I configuration (up to 3.2 GB) would not fit in
+  a test environment.
+* :class:`VirtualEmbeddingTable` computes rows on demand from a deterministic
+  hash of the row ID, so arbitrarily large logical tables can be exercised
+  with O(1) memory while preserving the property that the same row ID always
+  yields the same vector (which is what the reduction semantics depend on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.models import EmbeddingTableConfig
+from repro.errors import ModelShapeError, TraceError
+from repro.dlrm.trace import SparseTrace
+
+
+class EmbeddingTableBase:
+    """Common interface of dense and virtual embedding tables."""
+
+    def __init__(self, num_rows: int, embedding_dim: int):
+        if num_rows <= 0:
+            raise ModelShapeError(f"num_rows must be positive, got {num_rows}")
+        if embedding_dim <= 0:
+            raise ModelShapeError(f"embedding_dim must be positive, got {embedding_dim}")
+        self.num_rows = int(num_rows)
+        self.embedding_dim = int(embedding_dim)
+
+    # -- abstract ------------------------------------------------------
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        """Return the embedding vectors for the given row IDs, shape [n, dim]."""
+        raise NotImplementedError
+
+    # -- shared --------------------------------------------------------
+    @property
+    def row_bytes(self) -> int:
+        return self.embedding_dim * 4
+
+    @property
+    def table_bytes(self) -> int:
+        return self.num_rows * self.row_bytes
+
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_rows):
+            raise TraceError(
+                f"row IDs must lie in [0, {self.num_rows}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return indices.astype(np.int64, copy=False)
+
+
+class DenseEmbeddingTable(EmbeddingTableBase):
+    """An embedding table backed by an in-memory numpy array."""
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float32)
+        if weights.ndim != 2:
+            raise ModelShapeError(
+                f"embedding weights must be [rows, dim], got shape {weights.shape}"
+            )
+        super().__init__(num_rows=weights.shape[0], embedding_dim=weights.shape[1])
+        self.weights = weights
+
+    @classmethod
+    def random(
+        cls,
+        num_rows: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        scale: float = 0.1,
+    ) -> "DenseEmbeddingTable":
+        """Create a table with small random weights (as DLRM initialization does)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        weights = rng.standard_normal((num_rows, embedding_dim)).astype(np.float32)
+        return cls(weights * np.float32(scale))
+
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        return self.weights[indices]
+
+
+class VirtualEmbeddingTable(EmbeddingTableBase):
+    """An embedding table whose rows are derived on demand from the row ID.
+
+    Each row is produced by seeding a counter-based pseudo-random sequence
+    with ``hash(seed, row_id)``, so the table behaves as if a full array of
+    weights existed (same ID -> same vector, different IDs -> decorrelated
+    vectors) without allocating ``num_rows x dim`` floats.  This lets the
+    functional model run the paper's multi-GB Table I configurations.
+    """
+
+    def __init__(self, num_rows: int, embedding_dim: int, seed: int = 0, scale: float = 0.1):
+        super().__init__(num_rows=num_rows, embedding_dim=embedding_dim)
+        self.seed = int(seed)
+        self.scale = float(scale)
+
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        if indices.size == 0:
+            return np.zeros((0, self.embedding_dim), dtype=np.float32)
+        # Counter-based generation: mix the row id with the table seed through
+        # a splitmix64-style integer hash, then expand each hash into `dim`
+        # decorrelated values with a per-column multiplier.  Deterministic,
+        # vectorized, and allocation is proportional to the *gathered* rows.
+        seed_mix = np.uint64((self.seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+        mixed = _splitmix64(indices.astype(np.uint64) + seed_mix)
+        columns = np.arange(1, self.embedding_dim + 1, dtype=np.uint64)
+        expanded = _splitmix64(mixed[:, None] * np.uint64(0x100000001B3) + columns[None, :])
+        # Map to floats in [-1, 1) then scale to a typical embedding magnitude.
+        unit = (expanded >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+        return ((unit * 2.0 - 1.0) * self.scale).astype(np.float32)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (deterministic integer hash)."""
+    with np.errstate(over="ignore"):
+        values = values.astype(np.uint64, copy=True)
+        values += np.uint64(0x9E3779B97F4A7C15)
+        values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        values = values ^ (values >> np.uint64(31))
+    return values
+
+
+def sparse_lengths_sum(
+    table: EmbeddingTableBase,
+    indices: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Gather rows and reduce them per sample (Caffe2 ``SparseLengthsSum``).
+
+    Args:
+        table: The embedding table to gather from.
+        indices: Flat array of row IDs for the whole batch.
+        offsets: Array of length ``batch + 1``; sample ``i`` reduces
+            ``indices[offsets[i]:offsets[i+1]]``.
+
+    Returns:
+        Array of shape ``[batch, embedding_dim]`` with the per-sample sums.
+        Samples with zero lookups reduce to the zero vector.
+    """
+    indices = np.asarray(indices)
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or len(offsets) < 2:
+        raise TraceError("offsets must be one-dimensional with at least two entries")
+    if offsets[0] != 0 or offsets[-1] != len(indices):
+        raise TraceError(
+            "offsets must start at 0 and end at len(indices): "
+            f"got first={offsets[0]}, last={offsets[-1]}, len={len(indices)}"
+        )
+    batch_size = len(offsets) - 1
+    gathered = table.rows(indices)
+    output = np.zeros((batch_size, table.embedding_dim), dtype=np.float32)
+    if len(indices) == 0:
+        return output
+    # Vectorized segment sum: assign each gathered row its sample id, then
+    # accumulate with np.add.at (matches the sequential reference exactly).
+    lengths = np.diff(offsets)
+    sample_ids = np.repeat(np.arange(batch_size), lengths)
+    np.add.at(output, sample_ids, gathered)
+    return output
+
+
+class EmbeddingBagCollection:
+    """The frontend of DLRM: one embedding table per sparse feature.
+
+    Produces, for every table, the reduced embedding of each sample — the
+    "Step 1 + Step 2" portion of the paper's Fig. 3.
+    """
+
+    def __init__(self, tables: Sequence[EmbeddingTableBase]):
+        if not tables:
+            raise ModelShapeError("EmbeddingBagCollection needs at least one table")
+        dims = {table.embedding_dim for table in tables}
+        if len(dims) != 1:
+            raise ModelShapeError(
+                f"all tables must share one embedding dimension, got {sorted(dims)}"
+            )
+        self.tables: List[EmbeddingTableBase] = list(tables)
+
+    @classmethod
+    def from_configs(
+        cls,
+        configs: Sequence[EmbeddingTableConfig],
+        storage: str = "virtual",
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "EmbeddingBagCollection":
+        """Build a collection from table configurations.
+
+        Args:
+            configs: Per-table configurations.
+            storage: ``"virtual"`` (hash-derived rows, O(1) memory) or
+                ``"dense"`` (materialized numpy weights).
+            seed: Base seed; table ``i`` uses ``seed + i``.
+            rng: Generator used for dense initialization.
+        """
+        if storage not in ("virtual", "dense"):
+            raise ModelShapeError(f"storage must be 'virtual' or 'dense', got {storage!r}")
+        tables: List[EmbeddingTableBase] = []
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        for table_id, config in enumerate(configs):
+            if storage == "virtual":
+                tables.append(
+                    VirtualEmbeddingTable(
+                        num_rows=config.num_rows,
+                        embedding_dim=config.embedding_dim,
+                        seed=seed + table_id,
+                    )
+                )
+            else:
+                tables.append(
+                    DenseEmbeddingTable.random(
+                        num_rows=config.num_rows,
+                        embedding_dim=config.embedding_dim,
+                        rng=rng,
+                    )
+                )
+        return cls(tables)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.tables[0].embedding_dim
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(table.table_bytes for table in self.tables)
+
+    def forward(self, traces: Sequence[SparseTrace]) -> np.ndarray:
+        """Reduce every table's gathered rows.
+
+        Args:
+            traces: One :class:`SparseTrace` per table, all with the same
+                batch size.
+
+        Returns:
+            Array of shape ``[batch, num_tables, embedding_dim]``.
+        """
+        if len(traces) != self.num_tables:
+            raise ModelShapeError(
+                f"expected {self.num_tables} traces (one per table), got {len(traces)}"
+            )
+        batch_sizes = {trace.batch_size for trace in traces}
+        if len(batch_sizes) != 1:
+            raise ModelShapeError(f"traces disagree on batch size: {sorted(batch_sizes)}")
+        reduced = [
+            sparse_lengths_sum(table, trace.indices, trace.offsets)
+            for table, trace in zip(self.tables, traces)
+        ]
+        return np.stack(reduced, axis=1)

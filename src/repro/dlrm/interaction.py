@@ -1,0 +1,76 @@
+"""Dot-product feature interaction (the batched GEMM of the paper's Fig. 3).
+
+DLRM combines the bottom-MLP output with every table's reduced embedding by
+taking all pairwise dot products between the vectors (a small ``R @ R^T``
+batched GEMM), keeping the strictly lower triangle, and concatenating it with
+the bottom-MLP output to form the top-MLP input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelShapeError
+
+
+def dot_feature_interaction(
+    bottom_mlp_output: np.ndarray,
+    reduced_embeddings: np.ndarray,
+) -> np.ndarray:
+    """Compute DLRM's dot-product feature interaction.
+
+    Args:
+        bottom_mlp_output: Array of shape ``[batch, dim]`` — the dense
+            feature vector after the bottom MLP.
+        reduced_embeddings: Array of shape ``[batch, num_tables, dim]`` — one
+            reduced embedding per table (output of
+            :class:`~repro.dlrm.embedding.EmbeddingBagCollection`).
+
+    Returns:
+        Array of shape ``[batch, num_pairs + dim]`` where ``num_pairs`` is the
+        number of unordered vector pairs among the ``num_tables + 1`` vectors.
+        The layout matches DLRM: dense vector first, pair dot-products after.
+    """
+    bottom = np.asarray(bottom_mlp_output, dtype=np.float32)
+    embeddings = np.asarray(reduced_embeddings, dtype=np.float32)
+    if bottom.ndim != 2:
+        raise ModelShapeError(
+            f"bottom_mlp_output must be [batch, dim], got shape {bottom.shape}"
+        )
+    if embeddings.ndim != 3:
+        raise ModelShapeError(
+            "reduced_embeddings must be [batch, num_tables, dim], got shape "
+            f"{embeddings.shape}"
+        )
+    if bottom.shape[0] != embeddings.shape[0]:
+        raise ModelShapeError(
+            f"batch mismatch: bottom {bottom.shape[0]} vs embeddings {embeddings.shape[0]}"
+        )
+    if bottom.shape[1] != embeddings.shape[2]:
+        raise ModelShapeError(
+            f"dimension mismatch: bottom dim {bottom.shape[1]} vs embedding dim "
+            f"{embeddings.shape[2]}"
+        )
+
+    # Stack the bottom-MLP vector in front of the per-table embeddings:
+    # T has shape [batch, num_vectors, dim] with num_vectors = num_tables + 1.
+    stacked = np.concatenate([bottom[:, None, :], embeddings], axis=1)
+    # Batched GEMM: R @ R^T per sample, shape [batch, n, n].
+    gram = np.einsum("bnd,bmd->bnm", stacked, stacked)
+    num_vectors = stacked.shape[1]
+    row_idx, col_idx = np.tril_indices(num_vectors, k=-1)
+    pairs = gram[:, row_idx, col_idx]
+    return np.concatenate([bottom, pairs], axis=1).astype(np.float32)
+
+
+def interaction_output_dim(num_tables: int, embedding_dim: int) -> int:
+    """Width of the interaction output for a model shape.
+
+    Matches :attr:`repro.config.models.DLRMConfig.interaction_output_dim`.
+    """
+    if num_tables <= 0:
+        raise ModelShapeError(f"num_tables must be positive, got {num_tables}")
+    if embedding_dim <= 0:
+        raise ModelShapeError(f"embedding_dim must be positive, got {embedding_dim}")
+    num_vectors = num_tables + 1
+    return num_vectors * (num_vectors - 1) // 2 + embedding_dim

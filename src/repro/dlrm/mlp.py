@@ -1,0 +1,146 @@
+"""Fully connected layers and MLP stacks for DLRM's dense backend."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.models import MLPConfig
+from repro.errors import ModelShapeError
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(values, 0.0)
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable element-wise logistic sigmoid."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(values)
+    positive = values >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_vals = np.exp(values[~positive])
+    out[~positive] = exp_vals / (1.0 + exp_vals)
+    return out.astype(np.float32)
+
+
+class LinearLayer:
+    """One fully connected layer: ``y = x @ W + b``.
+
+    Weights are stored as ``[in_dim, out_dim]`` so a batched forward pass is a
+    single GEMM, exactly the operation the paper's dense accelerator targets.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray):
+        weight = np.asarray(weight, dtype=np.float32)
+        bias = np.asarray(bias, dtype=np.float32)
+        if weight.ndim != 2:
+            raise ModelShapeError(f"weight must be 2-D, got shape {weight.shape}")
+        if bias.shape != (weight.shape[1],):
+            raise ModelShapeError(
+                f"bias shape {bias.shape} does not match weight output dim {weight.shape[1]}"
+            )
+        self.weight = weight
+        self.bias = bias
+
+    @classmethod
+    def random(
+        cls, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None
+    ) -> "LinearLayer":
+        """Xavier-style initialization, matching DLRM's reference implementation."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        limit = np.sqrt(6.0 / (in_dim + out_dim))
+        weight = rng.uniform(-limit, limit, size=(in_dim, out_dim)).astype(np.float32)
+        bias = np.zeros(out_dim, dtype=np.float32)
+        return cls(weight, bias)
+
+    @property
+    def in_dim(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float32)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_dim:
+            raise ModelShapeError(
+                f"expected input of shape [batch, {self.in_dim}], got {inputs.shape}"
+            )
+        return inputs @ self.weight + self.bias
+
+
+class MLP:
+    """A stack of linear layers with ReLU between them (none after the last)."""
+
+    def __init__(self, layers: Sequence[LinearLayer], final_activation: Optional[str] = None):
+        if not layers:
+            raise ModelShapeError("an MLP needs at least one layer")
+        for previous, current in zip(layers[:-1], layers[1:]):
+            if previous.out_dim != current.in_dim:
+                raise ModelShapeError(
+                    f"layer output dim {previous.out_dim} does not feed layer input "
+                    f"dim {current.in_dim}"
+                )
+        if final_activation not in (None, "relu", "sigmoid"):
+            raise ModelShapeError(
+                f"final_activation must be None, 'relu' or 'sigmoid', got {final_activation!r}"
+            )
+        self.layers: List[LinearLayer] = list(layers)
+        self.final_activation = final_activation
+
+    @classmethod
+    def from_config(
+        cls,
+        config: MLPConfig,
+        rng: Optional[np.random.Generator] = None,
+        final_activation: Optional[str] = None,
+    ) -> "MLP":
+        """Build an MLP with random weights from an :class:`MLPConfig`."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers = [
+            LinearLayer.random(in_dim, out_dim, rng)
+            for in_dim, out_dim in zip(config.layer_dims[:-1], config.layer_dims[1:])
+        ]
+        return cls(layers, final_activation=final_activation)
+
+    @property
+    def in_dim(self) -> int:
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.layers[-1].out_dim
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(layer.num_parameters for layer in self.layers)
+
+    @property
+    def parameter_bytes(self) -> int:
+        return self.num_parameters * 4
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the batch through every layer, applying ReLU between layers."""
+        activations = np.asarray(inputs, dtype=np.float32)
+        last_index = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            activations = layer.forward(activations)
+            if index != last_index:
+                activations = relu(activations)
+        if self.final_activation == "relu":
+            activations = relu(activations)
+        elif self.final_activation == "sigmoid":
+            activations = sigmoid(activations)
+        return activations
+
+    def flops_per_sample(self) -> int:
+        """FLOPs (2 per MAC) for one sample."""
+        return sum(2 * layer.in_dim * layer.out_dim for layer in self.layers)

@@ -1,0 +1,77 @@
+"""Naive reference implementations used to validate the vectorized model.
+
+Everything here is written as plain Python loops that follow the paper's
+pseudo-code (Fig. 2) literally.  The test suite cross-checks the fast numpy
+implementations in :mod:`repro.dlrm` against these references on small
+inputs; they are intentionally slow and must not be used by the performance
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dlrm.embedding import EmbeddingTableBase
+from repro.dlrm.mlp import MLP
+
+
+def reference_sparse_lengths_sum(
+    table: EmbeddingTableBase,
+    indices: Sequence[int],
+    offsets: Sequence[int],
+) -> np.ndarray:
+    """Literal transcription of the paper's Fig. 2 pseudo-code."""
+    batch_size = len(offsets) - 1
+    output = np.zeros((batch_size, table.embedding_dim), dtype=np.float64)
+    for sample in range(batch_size):
+        accumulator = np.zeros(table.embedding_dim, dtype=np.float64)
+        for position in range(offsets[sample], offsets[sample + 1]):
+            row = table.rows(np.asarray([indices[position]]))[0]
+            accumulator += row.astype(np.float64)
+        output[sample] = accumulator
+    return output.astype(np.float32)
+
+
+def reference_dot_interaction(
+    bottom_output: np.ndarray, reduced_embeddings: np.ndarray
+) -> np.ndarray:
+    """Pairwise dot products computed with explicit loops."""
+    bottom_output = np.asarray(bottom_output, dtype=np.float32)
+    reduced_embeddings = np.asarray(reduced_embeddings, dtype=np.float32)
+    batch_size = bottom_output.shape[0]
+    outputs = []
+    for sample in range(batch_size):
+        vectors = [bottom_output[sample]] + [
+            reduced_embeddings[sample, table_id]
+            for table_id in range(reduced_embeddings.shape[1])
+        ]
+        pairs = []
+        for i in range(len(vectors)):
+            for j in range(i):
+                pairs.append(float(np.dot(vectors[i], vectors[j])))
+        outputs.append(np.concatenate([bottom_output[sample], np.asarray(pairs, dtype=np.float32)]))
+    return np.stack(outputs).astype(np.float32)
+
+
+def reference_mlp_forward(mlp: MLP, inputs: np.ndarray) -> np.ndarray:
+    """MLP forward pass computed one sample and one neuron at a time."""
+    inputs = np.asarray(inputs, dtype=np.float32)
+    outputs = []
+    for sample in range(inputs.shape[0]):
+        activation = inputs[sample].astype(np.float64)
+        for layer_index, layer in enumerate(mlp.layers):
+            next_activation = np.zeros(layer.out_dim, dtype=np.float64)
+            for out_neuron in range(layer.out_dim):
+                total = float(layer.bias[out_neuron])
+                for in_neuron in range(layer.in_dim):
+                    total += float(activation[in_neuron]) * float(
+                        layer.weight[in_neuron, out_neuron]
+                    )
+                next_activation[out_neuron] = total
+            if layer_index != len(mlp.layers) - 1:
+                next_activation = np.maximum(next_activation, 0.0)
+            activation = next_activation
+        outputs.append(activation)
+    return np.stack(outputs).astype(np.float32)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Centaur reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can guard an entire experiment with a single ``except`` clause while
+still being able to catch narrower categories (configuration problems,
+model-shape problems, simulation problems, capacity overflows).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is invalid or internally inconsistent."""
+
+
+class ModelShapeError(ReproError):
+    """Tensor/layer shapes passed to the DLRM model do not line up."""
+
+
+class TraceError(ReproError):
+    """A sparse-index trace is malformed (offsets, index bounds, lengths)."""
+
+
+class SimulationError(ReproError):
+    """The performance / event-driven simulation reached an invalid state."""
+
+
+class CapacityError(ReproError):
+    """A hardware structure (SRAM, MSHR file, register file) overflowed."""
+
+
+class ResourceEstimationError(ReproError):
+    """The FPGA resource estimator was asked for an infeasible design."""

@@ -1,0 +1,19 @@
+"""CPU-GPU design-point model (discrete GPU behind PCIe).
+
+The paper's second baseline keeps the embedding tables in CPU memory (they
+do not fit in GPU HBM), performs the gathers/reductions on the CPU exactly
+like the CPU-only system, and then ships the reduced embeddings plus dense
+features to a discrete GPU over PCIe for the dense MLP/interaction layers.
+"""
+
+from repro.gpu.pcie import PCIeLink, TransferEstimate
+from repro.gpu.device import GPUDevice, GPUGemmEstimate
+from repro.gpu.gpu_runner import CPUGPURunner
+
+__all__ = [
+    "PCIeLink",
+    "TransferEstimate",
+    "GPUDevice",
+    "GPUGemmEstimate",
+    "CPUGPURunner",
+]

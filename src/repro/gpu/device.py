@@ -1,0 +1,77 @@
+"""Throughput model of the discrete GPU executing DLRM's dense layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.models import DLRMConfig
+from repro.config.system import GPUConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GPUGemmEstimate:
+    """Latency decomposition of the GPU-side dense computation."""
+
+    latency_s: float
+    compute_s: float
+    launch_s: float
+    flops: float
+    efficiency: float
+
+    @property
+    def sustained_flops(self) -> float:
+        if self.compute_s == 0:
+            return 0.0
+        return self.flops / self.compute_s
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """A V100-class GPU running the MLP and feature-interaction kernels.
+
+    Small-batch recommendation GEMMs are notoriously inefficient on big GPUs
+    (the kernels cannot fill the SMs), so the sustained-throughput curve
+    interpolates between ``gemm_efficiency_small`` at batch 1 and
+    ``gemm_efficiency_large`` asymptotically, with a per-kernel launch
+    overhead on top.
+    """
+
+    gpu: GPUConfig
+    batch_half_point: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.batch_half_point <= 0:
+            raise SimulationError("batch_half_point must be positive")
+
+    def efficiency(self, batch_size: int) -> float:
+        """Sustained fraction of peak FLOP/s at a batch size."""
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        gain = self.gpu.gemm_efficiency_large - self.gpu.gemm_efficiency_small
+        saturation = (batch_size - 1) / (batch_size - 1 + self.batch_half_point)
+        return self.gpu.gemm_efficiency_small + gain * saturation
+
+    def estimate(self, flops: float, batch_size: int, num_kernels: int) -> GPUGemmEstimate:
+        """Latency of a dense workload on the GPU."""
+        if flops < 0:
+            raise SimulationError(f"flops must be non-negative, got {flops}")
+        if num_kernels < 0:
+            raise SimulationError(f"num_kernels must be non-negative, got {num_kernels}")
+        efficiency = self.efficiency(batch_size)
+        sustained = self.gpu.peak_flops * efficiency
+        compute_s = flops / sustained if flops else 0.0
+        launch_s = num_kernels * self.gpu.kernel_launch_overhead_s
+        return GPUGemmEstimate(
+            latency_s=compute_s + launch_s,
+            compute_s=compute_s,
+            launch_s=launch_s,
+            flops=flops,
+            efficiency=efficiency,
+        )
+
+    def estimate_model(self, model: DLRMConfig, batch_size: int) -> GPUGemmEstimate:
+        """Latency of all dense layers of a DLRM model on the GPU."""
+        flops = model.total_dense_flops_per_sample() * batch_size
+        num_kernels = model.bottom_mlp.num_layers + model.top_mlp.num_layers + 2
+        return self.estimate(flops, batch_size, num_kernels)

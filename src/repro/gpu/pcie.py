@@ -1,0 +1,57 @@
+"""PCIe transfer model for the discrete-GPU design point.
+
+Unlike the package-integrated CPU+FPGA (which reads CPU memory at cache-line
+granularity in hardware), a discrete GPU moves data with driver-mediated DMA
+copies: every transfer pays a fixed software/driver latency before the bytes
+stream at the effective link bandwidth.  This is the overhead the paper
+identifies as making CPU-GPU lose to CPU-only on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import GPUConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Latency decomposition of one host<->device DMA transfer."""
+
+    bytes_transferred: float
+    latency_s: float
+    fixed_s: float
+    streaming_s: float
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        if self.latency_s == 0:
+            return 0.0
+        return self.bytes_transferred / self.latency_s
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A host<->device PCIe link with per-transfer launch overhead."""
+
+    gpu: GPUConfig
+
+    def transfer(self, num_bytes: float) -> TransferEstimate:
+        """Estimate the latency of one ``cudaMemcpy``-style transfer."""
+        if num_bytes < 0:
+            raise SimulationError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return TransferEstimate(0.0, 0.0, 0.0, 0.0)
+        streaming_s = num_bytes / self.gpu.pcie_bandwidth
+        fixed_s = self.gpu.pcie_latency_s
+        return TransferEstimate(
+            bytes_transferred=float(num_bytes),
+            latency_s=fixed_s + streaming_s,
+            fixed_s=fixed_s,
+            streaming_s=streaming_s,
+        )
+
+    def round_trip(self, bytes_to_device: float, bytes_to_host: float) -> float:
+        """Total latency of an input upload plus a result download."""
+        return self.transfer(bytes_to_device).latency_s + self.transfer(bytes_to_host).latency_s

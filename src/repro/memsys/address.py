@@ -1,0 +1,82 @@
+"""Address mapping helpers shared by the cache and DRAM models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Decomposes byte addresses into cache-line and DRAM coordinates.
+
+    Attributes:
+        line_bytes: Cache line size.
+        row_buffer_bytes: DRAM row-buffer (page) size per bank.
+        num_channels: Memory channels; lines are interleaved across channels.
+        banks_per_channel: Banks per channel; rows are interleaved across banks.
+    """
+
+    line_bytes: int = 64
+    row_buffer_bytes: int = 8192
+    num_channels: int = 4
+    banks_per_channel: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("line_bytes", "row_buffer_bytes", "num_channels", "banks_per_channel"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if not _is_power_of_two(self.line_bytes):
+            raise ConfigurationError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if not _is_power_of_two(self.row_buffer_bytes):
+            raise ConfigurationError(
+                f"row_buffer_bytes must be a power of two, got {self.row_buffer_bytes}"
+            )
+        if self.row_buffer_bytes < self.line_bytes:
+            raise ConfigurationError("row buffer must be at least one cache line")
+
+    def line_address(self, byte_address: "int | np.ndarray") -> "int | np.ndarray":
+        """Cache-line index of a byte address."""
+        return byte_address // self.line_bytes
+
+    def line_span(self, byte_address: int, num_bytes: int) -> np.ndarray:
+        """All line addresses touched by ``[byte_address, byte_address + num_bytes)``."""
+        if num_bytes <= 0:
+            return np.zeros(0, dtype=np.int64)
+        first = byte_address // self.line_bytes
+        last = (byte_address + num_bytes - 1) // self.line_bytes
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def channel_of_line(self, line_address: "int | np.ndarray") -> "int | np.ndarray":
+        """Channel servicing a line (line-interleaved mapping)."""
+        return line_address % self.num_channels
+
+    def dram_row(self, byte_address: "int | np.ndarray") -> "int | np.ndarray":
+        """DRAM row (page) index of a byte address."""
+        return byte_address // self.row_buffer_bytes
+
+    def bank_of_row(self, row_index: "int | np.ndarray") -> "int | np.ndarray":
+        """Bank servicing a row (row-interleaved across all banks)."""
+        total_banks = self.num_channels * self.banks_per_channel
+        return row_index % total_banks
+
+
+def cache_lines_for_vector(vector_bytes: int, line_bytes: int = 64) -> int:
+    """Number of cache lines one embedding vector occupies (ceil division).
+
+    The paper's default embedding (32 fp32 values = 128 bytes) spans two
+    64-byte lines, which is why every gather costs two line transfers.
+    """
+    if vector_bytes <= 0:
+        raise ConfigurationError(f"vector_bytes must be positive, got {vector_bytes}")
+    if line_bytes <= 0:
+        raise ConfigurationError(f"line_bytes must be positive, got {line_bytes}")
+    return -(-vector_bytes // line_bytes)

@@ -1,0 +1,153 @@
+"""Trace-driven set-associative cache model.
+
+Used to validate the analytic LLC models of :mod:`repro.memsys.analytic`
+against an actual reference stream, and by the examples that want to show
+*why* embedding gathers defeat CPU caching (huge tables, random rows).
+
+The simulator operates on cache-line addresses (not bytes) and supports LRU
+and FIFO replacement.  It is deliberately simple — no coherence, no
+write-back modelling — because the paper's characterization only needs
+hit/miss behaviour of read streams.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memsys.stats import CacheStats
+
+
+class ReplacementPolicy(str, Enum):
+    """Replacement policies supported by :class:`SetAssociativeCache`."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+
+
+class SetAssociativeCache:
+    """A set-associative cache simulated at cache-line granularity.
+
+    Args:
+        capacity_bytes: Total data capacity.
+        line_bytes: Cache line size.
+        ways: Associativity; ``capacity / (line * ways)`` must be an integer
+            number of sets.
+        policy: Replacement policy.
+        name: Optional label used in reporting.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        name: str = "cache",
+    ):
+        if capacity_bytes <= 0:
+            raise ConfigurationError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if line_bytes <= 0:
+            raise ConfigurationError(f"line_bytes must be positive, got {line_bytes}")
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive, got {ways}")
+        num_lines = capacity_bytes // line_bytes
+        if num_lines == 0 or capacity_bytes % line_bytes != 0:
+            raise ConfigurationError(
+                f"capacity ({capacity_bytes}) must be a positive multiple of the line size "
+                f"({line_bytes})"
+            )
+        if num_lines % ways != 0:
+            raise ConfigurationError(
+                f"number of lines ({num_lines}) must be divisible by associativity ({ways})"
+            )
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        self.policy = ReplacementPolicy(policy)
+        self.stats = CacheStats()
+        # tags[set, way] holds the line address or -1 for an invalid way;
+        # stamps[set, way] holds the recency (LRU) or insertion (FIFO) counter.
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._stamps = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Invalidate every line and clear statistics."""
+        self._tags.fill(-1)
+        self._stamps.fill(0)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def set_index(self, line_address: int) -> int:
+        """Set servicing a line address."""
+        return int(line_address) % self.num_sets
+
+    def contains(self, line_address: int) -> bool:
+        """Whether a line currently resides in the cache (no stats update)."""
+        set_index = self.set_index(line_address)
+        return bool(np.any(self._tags[set_index] == line_address))
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return int(np.count_nonzero(self._tags >= 0))
+
+    # ------------------------------------------------------------------
+    def access(self, line_address: int) -> bool:
+        """Access one line; returns ``True`` on hit, installing the line on miss."""
+        line_address = int(line_address)
+        self._clock += 1
+        set_index = line_address % self.num_sets
+        tags = self._tags[set_index]
+        match = np.nonzero(tags == line_address)[0]
+        if match.size:
+            way = int(match[0])
+            if self.policy is ReplacementPolicy.LRU:
+                self._stamps[set_index, way] = self._clock
+            self.stats.record(hit=True)
+            return True
+        # Miss: fill an invalid way if one exists, otherwise evict the
+        # oldest-stamped way.
+        invalid = np.nonzero(tags == -1)[0]
+        if invalid.size:
+            way = int(invalid[0])
+        else:
+            way = int(np.argmin(self._stamps[set_index]))
+        self._tags[set_index, way] = line_address
+        self._stamps[set_index, way] = self._clock
+        self.stats.record(hit=False)
+        return False
+
+    def access_many(self, line_addresses: Iterable[int]) -> CacheStats:
+        """Access a stream of lines, returning the stats for just this stream."""
+        before = CacheStats(
+            accesses=self.stats.accesses, hits=self.stats.hits, misses=self.stats.misses
+        )
+        for line_address in np.asarray(list(line_addresses), dtype=np.int64):
+            self.access(int(line_address))
+        return CacheStats(
+            accesses=self.stats.accesses - before.accesses,
+            hits=self.stats.hits - before.hits,
+            misses=self.stats.misses - before.misses,
+        )
+
+    def warm(self, line_addresses: Iterable[int]) -> None:
+        """Install lines without recording statistics (cache warm-up)."""
+        saved = self.stats
+        self.stats = CacheStats()
+        for line_address in line_addresses:
+            self.access(int(line_address))
+        self.stats = saved
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(name={self.name!r}, capacity={self.capacity_bytes}, "
+            f"ways={self.ways}, sets={self.num_sets}, policy={self.policy.value})"
+        )

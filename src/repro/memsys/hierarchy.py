@@ -1,0 +1,101 @@
+"""A small multi-level cache hierarchy driven by line-address streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class HierarchyAccessResult:
+    """Outcome of one access as it traverses the hierarchy.
+
+    Attributes:
+        hit_level: Index of the level that hit (0 = L1), or ``None`` when the
+            access missed every level and was served by memory.
+    """
+
+    hit_level: "int | None"
+
+    @property
+    def served_by_memory(self) -> bool:
+        return self.hit_level is None
+
+
+class CacheHierarchy:
+    """An inclusive, demand-fill cache hierarchy (L1 -> L2 -> ... -> LLC).
+
+    Accesses probe each level in order; on a miss in every level the line is
+    installed everywhere (mimicking an inclusive hierarchy, which is what the
+    paper's Broadwell Xeon implements for L1/L2 relative to its LLC closely
+    enough for miss-rate characterization).
+    """
+
+    def __init__(self, levels: Sequence[SetAssociativeCache]):
+        if not levels:
+            raise ConfigurationError("a cache hierarchy needs at least one level")
+        capacities = [level.capacity_bytes for level in levels]
+        if capacities != sorted(capacities):
+            raise ConfigurationError(
+                f"cache levels must be ordered smallest to largest, got {capacities}"
+            )
+        self.levels: List[SetAssociativeCache] = list(levels)
+
+    @classmethod
+    def broadwell_like(
+        cls,
+        l1_bytes: int = 32 * 1024,
+        l2_bytes: int = 256 * 1024,
+        llc_bytes: int = 35 * 1024 * 1024 // 16,
+        line_bytes: int = 64,
+        llc_ways: int = 20,
+    ) -> "CacheHierarchy":
+        """A single-core slice of the Broadwell hierarchy.
+
+        The default LLC size is one core's proportional share of the 35 MB
+        socket LLC, which is the appropriate scale when replaying a
+        single-thread access stream.
+        """
+        l1 = SetAssociativeCache(l1_bytes, line_bytes, ways=8, name="L1")
+        l2 = SetAssociativeCache(l2_bytes, line_bytes, ways=8, name="L2")
+        # Round the LLC share down to a multiple of line * ways.
+        granule = line_bytes * llc_ways
+        llc_capacity = max(granule, (llc_bytes // granule) * granule)
+        llc = SetAssociativeCache(llc_capacity, line_bytes, ways=llc_ways, name="LLC")
+        return cls([l1, l2, llc])
+
+    # ------------------------------------------------------------------
+    @property
+    def llc(self) -> SetAssociativeCache:
+        """The last-level cache."""
+        return self.levels[-1]
+
+    def reset(self) -> None:
+        for level in self.levels:
+            level.reset()
+
+    def access(self, line_address: int) -> HierarchyAccessResult:
+        """Access one line; fill all levels above (and including) the hit level."""
+        hit_level: "int | None" = None
+        for index, level in enumerate(self.levels):
+            if level.access(line_address):
+                hit_level = index
+                break
+        if hit_level is None:
+            return HierarchyAccessResult(hit_level=None)
+        # Lines are installed in upper levels by SetAssociativeCache.access on
+        # the miss path already (each probed level installs on miss), so no
+        # extra work is needed here.
+        return HierarchyAccessResult(hit_level=hit_level)
+
+    def access_many(self, line_addresses: Iterable[int]) -> List[HierarchyAccessResult]:
+        """Access a stream of lines, returning per-access results."""
+        return [self.access(int(line_address)) for line_address in line_addresses]
+
+    def llc_stats(self) -> CacheStats:
+        """Aggregate LLC statistics accumulated so far."""
+        return self.llc.stats

@@ -1,0 +1,12 @@
+"""Power and energy-efficiency models (Table IV and Figure 15b)."""
+
+from repro.power.models import DesignPointPower, PowerModel
+from repro.power.energy import EnergyReport, energy_of, energy_efficiency_ratio
+
+__all__ = [
+    "DesignPointPower",
+    "PowerModel",
+    "EnergyReport",
+    "energy_of",
+    "energy_efficiency_ratio",
+]

@@ -1,0 +1,54 @@
+"""Energy accounting on top of the power model.
+
+The paper evaluates energy-efficiency by multiplying each design point's
+average power by its end-to-end inference latency; improvements are the
+ratio of baseline energy to the design's energy (higher is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.results import InferenceResult
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy metrics of one inference batch on one design point."""
+
+    design_point: str
+    model_name: str
+    batch_size: int
+    latency_s: float
+    power_watts: float
+    energy_joules: float
+    energy_per_sample_joules: float
+
+
+def energy_of(result: InferenceResult) -> EnergyReport:
+    """Compute the energy report of one :class:`InferenceResult`."""
+    if result.power_watts <= 0:
+        raise SimulationError(
+            f"result for {result.design_point} has no power attached; "
+            "runners must set power_watts"
+        )
+    energy = result.energy_joules
+    return EnergyReport(
+        design_point=result.design_point,
+        model_name=result.model_name,
+        batch_size=result.batch_size,
+        latency_s=result.latency_seconds,
+        power_watts=result.power_watts,
+        energy_joules=energy,
+        energy_per_sample_joules=energy / result.batch_size,
+    )
+
+
+def energy_efficiency_ratio(candidate: InferenceResult, baseline: InferenceResult) -> float:
+    """Energy-efficiency improvement of ``candidate`` over ``baseline``.
+
+    Defined as ``baseline energy / candidate energy`` for the same (model,
+    batch) pair, exactly as Figure 15(b) normalizes its bars.
+    """
+    return candidate.energy_efficiency_over(baseline)

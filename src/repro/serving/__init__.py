@@ -1,0 +1,28 @@
+"""Online-serving simulation substrate (beyond-paper extension).
+
+The paper motivates Centaur with user-facing recommendation services that
+must meet firm SLA targets under bursty load.  This package closes the loop:
+it feeds Poisson request arrivals through a batching policy and a
+single-device queue whose service times come from the calibrated design-point
+runners, and reports the throughput/tail-latency trade-off of CPU-only,
+CPU-GPU and Centaur under identical load.
+"""
+
+from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
+from repro.serving.batching import BatchingPolicy, FixedSizeBatching, TimeoutBatching
+from repro.serving.metrics import LatencyDistribution, ServingReport
+from repro.serving.simulator import ServingSimulator
+from repro.serving.cluster import ClusterReport, ClusterSimulator
+
+__all__ = [
+    "InferenceRequest",
+    "PoissonRequestGenerator",
+    "BatchingPolicy",
+    "FixedSizeBatching",
+    "TimeoutBatching",
+    "LatencyDistribution",
+    "ServingReport",
+    "ServingSimulator",
+    "ClusterReport",
+    "ClusterSimulator",
+]

@@ -1,0 +1,128 @@
+"""Batching policies for the serving simulation.
+
+Recommendation servers trade latency for throughput by batching requests
+before dispatching them to the inference engine.  Two canonical policies are
+provided:
+
+* :class:`FixedSizeBatching` — wait until exactly ``batch_size`` requests
+  have queued (optionally bounded by a maximum wait), then dispatch.
+* :class:`TimeoutBatching` — dispatch whatever has queued after a fixed
+  batching window, capped at a maximum batch size (the policy most
+  user-facing services deploy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.serving.requests import InferenceRequest
+
+
+class BatchingPolicy:
+    """Interface: groups queued requests into dispatchable batches."""
+
+    def form_batches(
+        self, requests: Sequence[InferenceRequest]
+    ) -> List[Tuple[float, List[InferenceRequest]]]:
+        """Group arrivals into batches.
+
+        Args:
+            requests: All arrivals, sorted by arrival time.
+
+        Returns:
+            A list of ``(ready_time_s, batch_requests)`` tuples where
+            ``ready_time_s`` is the earliest time the batch may start
+            executing (all members have arrived and any batching window has
+            elapsed).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSizeBatching(BatchingPolicy):
+    """Dispatch once ``batch_size`` requests are available (or a wait cap hits).
+
+    Attributes:
+        batch_size: Target batch size.
+        max_wait_s: Upper bound on how long the oldest queued request may
+            wait for the batch to fill; a partial batch dispatches when it is
+            reached.
+    """
+
+    batch_size: int
+    max_wait_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.max_wait_s <= 0:
+            raise SimulationError(f"max_wait_s must be positive, got {self.max_wait_s}")
+
+    def form_batches(self, requests):
+        batches: List[Tuple[float, List[InferenceRequest]]] = []
+        pending: List[InferenceRequest] = []
+        for request in requests:
+            # Before admitting this request, flush the pending batch if its
+            # oldest member would exceed the wait cap by waiting for it.
+            while pending and request.arrival_time_s > pending[0].arrival_time_s + self.max_wait_s:
+                ready = pending[0].arrival_time_s + self.max_wait_s
+                batches.append((ready, pending))
+                pending = []
+            pending.append(request)
+            if len(pending) >= self.batch_size:
+                batches.append((pending[-1].arrival_time_s, pending))
+                pending = []
+        if pending:
+            ready = (
+                pending[0].arrival_time_s + self.max_wait_s
+                if self.max_wait_s != float("inf")
+                else pending[-1].arrival_time_s
+            )
+            batches.append((ready, pending))
+        return batches
+
+
+@dataclass(frozen=True)
+class TimeoutBatching(BatchingPolicy):
+    """Dispatch whatever arrived within a batching window.
+
+    Attributes:
+        window_s: Length of the batching window, measured from the arrival
+            of the first request of the batch.
+        max_batch_size: Hard cap; a full batch dispatches immediately.
+    """
+
+    window_s: float
+    max_batch_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise SimulationError(f"window_s must be positive, got {self.window_s}")
+        if self.max_batch_size <= 0:
+            raise SimulationError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+
+    def form_batches(self, requests):
+        batches: List[Tuple[float, List[InferenceRequest]]] = []
+        pending: List[InferenceRequest] = []
+        window_end = 0.0
+        for request in requests:
+            if not pending:
+                pending = [request]
+                window_end = request.arrival_time_s + self.window_s
+                continue
+            if request.arrival_time_s <= window_end and len(pending) < self.max_batch_size:
+                pending.append(request)
+                if len(pending) >= self.max_batch_size:
+                    batches.append((request.arrival_time_s, pending))
+                    pending = []
+            else:
+                batches.append((window_end, pending))
+                pending = [request]
+                window_end = request.arrival_time_s + self.window_s
+        if pending:
+            batches.append((window_end, pending))
+        return batches

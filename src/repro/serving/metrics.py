@@ -1,0 +1,110 @@
+"""Latency/throughput metrics for the serving simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class LatencyDistribution:
+    """A collection of per-request latencies with percentile queries."""
+
+    def __init__(self, latencies_s: Sequence[float]):
+        if len(latencies_s) == 0:
+            raise SimulationError("latency distribution needs at least one sample")
+        array = np.asarray(latencies_s, dtype=np.float64)
+        if np.any(array < 0):
+            raise SimulationError("latencies must be non-negative")
+        self._latencies = np.sort(array)
+
+    def __len__(self) -> int:
+        return int(self._latencies.size)
+
+    @property
+    def samples_s(self) -> "np.ndarray":
+        """A copy of the individual latencies (sorted ascending)."""
+        return self._latencies.copy()
+
+    @property
+    def mean_s(self) -> float:
+        return float(self._latencies.mean())
+
+    @property
+    def max_s(self) -> float:
+        return float(self._latencies.max())
+
+    def percentile(self, percentile: float) -> float:
+        """Latency at a percentile (e.g. ``99.0`` for the p99 tail)."""
+        if not 0.0 <= percentile <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {percentile}")
+        return float(np.percentile(self._latencies, percentile))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    def sla_attainment(self, sla_s: float) -> float:
+        """Fraction of requests finishing within an SLA budget."""
+        if sla_s <= 0:
+            raise SimulationError(f"sla_s must be positive, got {sla_s}")
+        return float(np.mean(self._latencies <= sla_s))
+
+
+@dataclass
+class ServingReport:
+    """Outcome of serving one request stream on one design point."""
+
+    design_point: str
+    model_name: str
+    offered_load_qps: float
+    completed_requests: int
+    makespan_s: float
+    latency: LatencyDistribution
+    queueing: LatencyDistribution
+    average_batch_size: float
+    device_busy_s: float
+    energy_joules: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def achieved_qps(self) -> float:
+        if self.makespan_s == 0:
+            return 0.0
+        return self.completed_requests / self.makespan_s
+
+    @property
+    def device_utilization(self) -> float:
+        if self.makespan_s == 0:
+            return 0.0
+        return min(1.0, self.device_busy_s / self.makespan_s)
+
+    @property
+    def energy_per_request_joules(self) -> float:
+        if self.completed_requests == 0:
+            return 0.0
+        return self.energy_joules / self.completed_requests
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat dictionary used by the reporting/benchmark layers."""
+        return {
+            "offered_qps": self.offered_load_qps,
+            "achieved_qps": self.achieved_qps,
+            "p50_ms": self.latency.p50_s * 1e3,
+            "p95_ms": self.latency.p95_s * 1e3,
+            "p99_ms": self.latency.p99_s * 1e3,
+            "mean_batch": self.average_batch_size,
+            "utilization": self.device_utilization,
+            "energy_per_request_mj": self.energy_per_request_joules * 1e3,
+        }

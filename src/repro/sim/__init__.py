@@ -1,0 +1,18 @@
+"""A minimal discrete-event simulation engine.
+
+Used by the detailed (cycle-approximate) mode of the Centaur EB-Streamer to
+model gather requests in flight over the chiplet link, and available to any
+other component that wants event-level timing rather than closed-form
+estimates.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.resources import BandwidthResource, TokenPool
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "BandwidthResource",
+    "TokenPool",
+]

@@ -1,0 +1,121 @@
+"""Discrete-event simulation core: events, an event queue and a simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Events order by ``(time, sequence)`` so that simultaneous events fire in
+    the order they were scheduled (deterministic execution).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing when it is popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        if time < 0:
+            raise SimulationError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("cannot pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` when the queue is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class Simulator:
+    """Runs events in time order and tracks the simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule a callback at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event in the past: {time} < now ({self.now})"
+            )
+        return self.queue.push(time, callback, label)
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule a callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, callback, label)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event; returns ``False`` when the queue is empty."""
+        while len(self.queue):
+            event = self.queue.pop()
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled at {event.time} is in the past "
+                    f"(now {self.now})"
+                )
+            self.now = event.time
+            event.callback()
+            self.events_fired += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains (or ``until`` / ``max_events`` is hit).
+
+        Returns:
+            The simulated time at which execution stopped.
+        """
+        fired = 0
+        while len(self.queue):
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self.now = until
+                break
+            if not self.step():
+                break
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely a livelock"
+                )
+        return self.now

@@ -1,0 +1,82 @@
+"""Shared resources for the event-driven models: bandwidth pipes and credits."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class BandwidthResource:
+    """A serial resource that streams bytes at a fixed bandwidth.
+
+    Transfers are serviced in request order: a transfer starts when the
+    previous one finishes (or immediately if the resource is idle) and lasts
+    ``bytes / bandwidth`` seconds.  This models a link or memory channel at
+    the granularity the performance model needs without token-level detail.
+    """
+
+    def __init__(self, bandwidth_bytes_per_s: float, name: str = "link"):
+        if bandwidth_bytes_per_s <= 0:
+            raise SimulationError(
+                f"bandwidth must be positive, got {bandwidth_bytes_per_s}"
+            )
+        self.bandwidth = bandwidth_bytes_per_s
+        self.name = name
+        self.busy_until = 0.0
+        self.bytes_transferred = 0.0
+        self.busy_time = 0.0
+
+    def request(self, now: float, num_bytes: float) -> float:
+        """Submit a transfer at time ``now``; returns its completion time."""
+        if num_bytes < 0:
+            raise SimulationError(f"num_bytes must be non-negative, got {num_bytes}")
+        start = max(now, self.busy_until)
+        duration = num_bytes / self.bandwidth
+        self.busy_until = start + duration
+        self.bytes_transferred += num_bytes
+        self.busy_time += duration
+        return self.busy_until
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time the resource spent transferring."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class TokenPool:
+    """A counting-semaphore credit pool (e.g. outstanding-request credits)."""
+
+    def __init__(self, capacity: int, name: str = "credits"):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.available = capacity
+        self.name = name
+        self.acquisitions = 0
+        self.blocked = 0
+
+    def try_acquire(self, count: int = 1) -> bool:
+        """Take ``count`` credits if available; returns success."""
+        if count <= 0:
+            raise SimulationError(f"count must be positive, got {count}")
+        if self.available >= count:
+            self.available -= count
+            self.acquisitions += count
+            return True
+        self.blocked += 1
+        return False
+
+    def release(self, count: int = 1) -> None:
+        """Return credits to the pool."""
+        if count <= 0:
+            raise SimulationError(f"count must be positive, got {count}")
+        if self.available + count > self.capacity:
+            raise SimulationError(
+                f"releasing {count} credits would exceed capacity "
+                f"({self.available}/{self.capacity})"
+            )
+        self.available += count
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.available

@@ -1,0 +1,85 @@
+"""Unit constants and conversion helpers.
+
+The paper mixes decimal units (GB/s memory bandwidth, GFLOPS) and binary
+units (cache and SRAM capacities).  To keep the performance models honest,
+this module provides explicitly named constants for both conventions plus a
+few human-readable formatters used by the reporting layer.
+"""
+
+from __future__ import annotations
+
+# Binary (IEC) byte units -- used for caches, SRAMs and table footprints.
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+# Decimal (SI) byte units -- used for DRAM/link bandwidth and table sizes as
+# quoted by the paper (e.g. "128 MB" tables, "77 GB/sec").
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+# Decimal scalar prefixes -- used for FLOPS and frequencies.
+KILO: float = 1e3
+MEGA: float = 1e6
+GIGA: float = 1e9
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth expressed in GB/s into bytes per second."""
+    return value * GB
+
+
+def nanoseconds(value: float) -> float:
+    """Convert nanoseconds into seconds."""
+    return value * 1e-9
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds into seconds."""
+    return value * 1e-6
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds into seconds."""
+    return value * 1e-3
+
+
+def bytes_to_human(num_bytes: float, decimal: bool = True) -> str:
+    """Render a byte count with an appropriate unit suffix.
+
+    Args:
+        num_bytes: The number of bytes.
+        decimal: When ``True`` (default), use decimal units (KB/MB/GB) as the
+            paper does for table sizes; otherwise use binary units.
+
+    Returns:
+        A string such as ``"1.28 GB"`` or ``"35.0 MiB"``.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    base = 1000.0 if decimal else 1024.0
+    suffixes = ["B", "KB", "MB", "GB", "TB"] if decimal else ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(num_bytes)
+    for suffix in suffixes:
+        if value < base or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.2f} {suffix}"
+        value /= base
+    raise AssertionError("unreachable")
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a latency with an appropriate time unit (ns/us/ms/s)."""
+    if seconds < 0:
+        raise ValueError(f"time must be non-negative, got {seconds}")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.2f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,11 @@
+"""Package version information."""
+
+__version__ = "1.0.0"
+
+#: Paper this package reproduces.
+PAPER_TITLE = (
+    "Centaur: A Chiplet-based, Hybrid Sparse-Dense Accelerator for "
+    "Personalized Recommendations"
+)
+PAPER_VENUE = "ISCA 2020"
+PAPER_AUTHORS = ("Ranggi Hwang", "Taehun Kim", "Youngeun Kwon", "Minsoo Rhu")

@@ -1,0 +1,68 @@
+"""Tests for the design-point sweep driver."""
+
+import pytest
+
+from repro.analysis.sweep import DesignPointSweep, SweepResult
+from repro.config import DLRM1, DLRM6, HARPV2_SYSTEM
+from repro.errors import SimulationError
+from repro.results import InferenceResult, LatencyBreakdown
+
+
+class TestSweepResult:
+    def test_add_and_get(self):
+        sweep = SweepResult()
+        result = InferenceResult(
+            design_point="CPU-only",
+            model_name="DLRM(1)",
+            batch_size=4,
+            breakdown=LatencyBreakdown({"EMB": 1e-3}),
+            power_watts=80.0,
+        )
+        sweep.add(result)
+        assert sweep.get("CPU-only", "DLRM(1)", 4) is result
+        assert len(sweep) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            SweepResult().get("CPU-only", "DLRM(1)", 4)
+
+
+class TestDesignPointSweep:
+    def test_runs_every_combination(self):
+        sweep = DesignPointSweep(
+            HARPV2_SYSTEM, models=[DLRM1, DLRM6], batch_sizes=[1, 16]
+        ).run()
+        assert len(sweep) == 3 * 2 * 2
+        assert sweep.design_points() == ["CPU-GPU", "CPU-only", "Centaur"]
+        assert sweep.model_names() == ["DLRM(1)", "DLRM(6)"]
+        assert sweep.batch_sizes() == [1, 16]
+
+    def test_subset_of_design_points(self):
+        sweep = DesignPointSweep(
+            HARPV2_SYSTEM,
+            models=[DLRM1],
+            batch_sizes=[4],
+            design_points=("CPU-only", "Centaur"),
+        ).run()
+        assert len(sweep) == 2
+        with pytest.raises(KeyError):
+            sweep.get("CPU-GPU", "DLRM(1)", 4)
+
+    def test_model_lookup(self):
+        sweep = DesignPointSweep(HARPV2_SYSTEM, models=[DLRM1], batch_sizes=[1])
+        assert sweep.model_by_name("DLRM(1)") is DLRM1
+        with pytest.raises(KeyError):
+            sweep.model_by_name("DLRM(9)")
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DesignPointSweep(HARPV2_SYSTEM, models=[], batch_sizes=[1])
+        with pytest.raises(SimulationError):
+            DesignPointSweep(HARPV2_SYSTEM, models=[DLRM1], batch_sizes=[])
+        with pytest.raises(SimulationError):
+            DesignPointSweep(HARPV2_SYSTEM, design_points=("TPU",))
+
+    def test_defaults_cover_paper_sweep(self):
+        sweep = DesignPointSweep(HARPV2_SYSTEM)
+        assert len(sweep.models) == 6
+        assert sweep.batch_sizes == (1, 4, 16, 32, 64, 128)

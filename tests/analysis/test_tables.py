@@ -1,0 +1,126 @@
+"""Tests for the Tables I-V reproduction."""
+
+import pytest
+
+from repro.analysis.tables import (
+    table1_model_configurations,
+    table2_fpga_utilization,
+    table3_module_resources,
+    table4_power,
+    table5_related_work,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_model_configurations()
+
+    def test_six_rows(self, rows):
+        assert [row.model_name for row in rows] == [f"DLRM({i})" for i in range(1, 7)]
+
+    def test_table_bytes_match_paper_exactly(self, rows):
+        for row in rows:
+            assert row.table_bytes == row.paper_table_bytes
+
+    def test_mlp_bytes_close_to_paper(self, rows):
+        """MLP layer shapes are not published; sizes land within 25% for the
+        5-table models and within a factor of ~7 for the 50-table models
+        (whose wide interaction output forces a larger top MLP)."""
+        for row in rows:
+            assert row.mlp_bytes == pytest.approx(row.paper_mlp_bytes, rel=6.0)
+        five_table = [row for row in rows if row.num_tables == 5]
+        for row in five_table:
+            assert row.mlp_bytes == pytest.approx(row.paper_mlp_bytes, rel=0.25)
+
+    def test_gathers_match_paper(self, rows):
+        assert [row.gathers_per_table for row in rows] == [20, 20, 80, 80, 80, 2]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.resource: row for row in table2_fpga_utilization()}
+
+    def test_all_resources_reported(self, rows):
+        assert set(rows) == {"ALM", "Block memory bits", "RAM blocks", "DSP", "PLL"}
+
+    def test_modelled_usage_close_to_paper(self, rows):
+        for row in rows.values():
+            assert row.used == pytest.approx(row.paper_used, rel=0.06)
+
+    def test_utilization_below_one(self, rows):
+        assert all(row.utilization < 1.0 for row in rows.values())
+
+    def test_ram_blocks_are_the_most_utilized_resource(self, rows):
+        """The paper's Table II: RAM blocks at 82.5% are the binding constraint."""
+        ram_utilization = rows["RAM blocks"].utilization
+        assert all(
+            ram_utilization >= row.utilization
+            for name, row in rows.items()
+            if name != "RAM blocks"
+        )
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3_module_resources()
+
+    def test_every_paper_row_has_a_counterpart(self, rows):
+        keys = {row.key for row in rows}
+        assert "Sparse/Reduction unit" in keys
+        assert "Dense/MLP unit" in keys
+        assert "Others/Misc." in keys
+        assert len(rows) == 9
+
+    def test_modelled_values_close_to_paper(self, rows):
+        for row in rows:
+            assert row.paper is not None
+            if row.paper["dsp"]:
+                assert row.module.dsps == pytest.approx(row.paper["dsp"], rel=0.05)
+            if row.paper["mem_bits"]:
+                assert row.module.block_memory_bits == pytest.approx(
+                    row.paper["mem_bits"], rel=0.06
+                )
+
+
+class TestTable4:
+    def test_rows_match_paper(self):
+        rows = {row.design_point: row for row in table4_power()}
+        assert rows["CPU-only"].watts == rows["CPU-only"].paper_watts == 80.0
+        assert rows["CPU-GPU"].watts == rows["CPU-GPU"].paper_watts == 147.0
+        assert rows["Centaur"].watts == rows["Centaur"].paper_watts == 74.0
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table5_related_work()
+
+    def test_centaur_checks_every_box(self, rows):
+        centaur = rows[-1]
+        assert centaur.system.startswith("Centaur")
+        assert all(
+            [
+                centaur.transparent_to_hardware,
+                centaur.transparent_to_software,
+                centaur.accelerates_dense_dnn,
+                centaur.accelerates_gathers,
+                centaur.handles_small_vector_loads,
+                centaur.studies_recommendation,
+            ]
+        )
+
+    def test_column_counts_match_paper(self, rows):
+        """The number of checkmarks per row of Table V."""
+        assert sum(row.transparent_to_hardware for row in rows) == 5
+        assert sum(row.transparent_to_software for row in rows) == 5
+        assert sum(row.accelerates_dense_dnn for row in rows) == 5
+        assert sum(row.accelerates_gathers for row in rows) == 3
+        assert sum(row.handles_small_vector_loads for row in rows) == 2
+        assert sum(row.studies_recommendation for row in rows) == 2
+
+    def test_only_centaur_and_tensordimm_study_recommendations(self, rows):
+        studied = {row.system for row in rows if row.studies_recommendation}
+        assert studied == {"TensorDIMM", "Centaur (Ours)"}

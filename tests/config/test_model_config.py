@@ -1,0 +1,144 @@
+"""Tests for DLRM model configuration dataclasses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.models import (
+    DLRMConfig,
+    EmbeddingTableConfig,
+    MLPConfig,
+    homogeneous_dlrm,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEmbeddingTableConfig:
+    def test_row_and_table_bytes(self):
+        table = EmbeddingTableConfig(num_rows=1000, embedding_dim=32)
+        assert table.row_bytes == 128
+        assert table.table_bytes == 128_000
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingTableConfig(num_rows=0)
+        with pytest.raises(ConfigurationError):
+            EmbeddingTableConfig(num_rows=10, embedding_dim=0)
+        with pytest.raises(ConfigurationError):
+            EmbeddingTableConfig(num_rows=10, gathers=0)
+
+
+class TestMLPConfig:
+    def test_parameter_count_includes_biases(self):
+        mlp = MLPConfig(layer_dims=(4, 8, 2))
+        assert mlp.num_parameters == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_flops_per_sample(self):
+        mlp = MLPConfig(layer_dims=(4, 8, 2))
+        assert mlp.flops_per_sample() == 2 * (4 * 8 + 8 * 2)
+
+    def test_needs_at_least_two_dims(self):
+        with pytest.raises(ConfigurationError):
+            MLPConfig(layer_dims=(4,))
+
+    def test_with_output_dim(self):
+        mlp = MLPConfig(layer_dims=(4, 8, 2)).with_output_dim(5)
+        assert mlp.layer_dims == (4, 8, 5)
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=2, max_size=6))
+    def test_parameter_bytes_is_4x_count(self, dims):
+        mlp = MLPConfig(layer_dims=tuple(dims))
+        assert mlp.parameter_bytes == 4 * mlp.num_parameters
+
+
+class TestDLRMConfig:
+    def test_homogeneous_builder_produces_consistent_shapes(self):
+        config = homogeneous_dlrm("m", num_tables=5, rows_per_table=100, gathers_per_table=3)
+        assert config.num_tables == 5
+        assert config.gathers_per_table == 3
+        assert config.bottom_mlp.output_dim == config.embedding_dim
+        assert config.top_mlp.input_dim == config.interaction_output_dim
+
+    def test_interaction_dimensions(self):
+        config = homogeneous_dlrm("m", num_tables=5, rows_per_table=100, gathers_per_table=3)
+        assert config.num_interaction_vectors == 6
+        assert config.num_interaction_pairs == 15
+        assert config.interaction_output_dim == 15 + 32
+
+    def test_embedding_bytes_per_sample(self):
+        config = homogeneous_dlrm("m", num_tables=2, rows_per_table=100, gathers_per_table=4)
+        assert config.embedding_bytes_per_sample() == 2 * 4 * 32 * 4
+
+    def test_reduction_flops(self):
+        config = homogeneous_dlrm("m", num_tables=2, rows_per_table=100, gathers_per_table=4)
+        assert config.reduction_flops_per_sample() == 2 * 3 * 32
+
+    def test_total_dense_flops_positive(self):
+        config = homogeneous_dlrm("m", num_tables=2, rows_per_table=100, gathers_per_table=4)
+        assert config.total_dense_flops_per_sample() > 0
+
+    def test_with_gathers_per_table(self):
+        config = homogeneous_dlrm("m", num_tables=2, rows_per_table=100, gathers_per_table=4)
+        modified = config.with_gathers_per_table(9)
+        assert modified.gathers_per_table == 9
+        assert config.gathers_per_table == 4
+
+    def test_with_num_tables_resizes_top_mlp(self):
+        config = homogeneous_dlrm("m", num_tables=2, rows_per_table=100, gathers_per_table=4)
+        modified = config.with_num_tables(10)
+        assert modified.num_tables == 10
+        assert modified.top_mlp.input_dim == modified.interaction_output_dim
+
+    def test_rejects_mismatched_bottom_mlp(self):
+        table = EmbeddingTableConfig(num_rows=10, embedding_dim=32)
+        with pytest.raises(ConfigurationError):
+            DLRMConfig(
+                name="bad",
+                tables=(table,),
+                bottom_mlp=MLPConfig(layer_dims=(13, 16)),  # output != 32
+                top_mlp=MLPConfig(layer_dims=(33, 1)),
+            )
+
+    def test_rejects_mismatched_top_mlp(self):
+        table = EmbeddingTableConfig(num_rows=10, embedding_dim=32)
+        with pytest.raises(ConfigurationError):
+            DLRMConfig(
+                name="bad",
+                tables=(table,),
+                bottom_mlp=MLPConfig(layer_dims=(13, 32)),
+                top_mlp=MLPConfig(layer_dims=(10, 1)),  # input != interaction dim
+            )
+
+    def test_rejects_heterogeneous_embedding_dims(self):
+        tables = (
+            EmbeddingTableConfig(num_rows=10, embedding_dim=32),
+            EmbeddingTableConfig(num_rows=10, embedding_dim=64),
+        )
+        with pytest.raises(ConfigurationError):
+            DLRMConfig(
+                name="bad",
+                tables=tables,
+                bottom_mlp=MLPConfig(layer_dims=(13, 32)),
+                top_mlp=MLPConfig(layer_dims=(35, 1)),
+            )
+
+    def test_summary_mentions_name_and_tables(self):
+        config = homogeneous_dlrm("MyModel", num_tables=3, rows_per_table=50, gathers_per_table=2)
+        summary = config.summary()
+        assert "MyModel" in summary and "3 tables" in summary
+
+    @given(
+        num_tables=st.integers(min_value=1, max_value=12),
+        gathers=st.integers(min_value=1, max_value=40),
+        batchless_dim=st.sampled_from([16, 32, 64]),
+    )
+    def test_interaction_pair_formula(self, num_tables, gathers, batchless_dim):
+        config = homogeneous_dlrm(
+            "prop",
+            num_tables=num_tables,
+            rows_per_table=64,
+            gathers_per_table=gathers,
+            embedding_dim=batchless_dim,
+        )
+        n = num_tables + 1
+        assert config.num_interaction_pairs == n * (n - 1) // 2
+        assert config.total_gathers_per_sample == num_tables * gathers

@@ -1,0 +1,75 @@
+"""Tests for the embedding gather unit (address generation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gather import EmbeddingGatherUnit, GatherRequest
+from repro.core.registers import BasePointerRegisters
+from repro.core.sram import SRAMBuffer
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def gather_unit():
+    registers = BasePointerRegisters()
+    registers.write("table/t0", 0x10_000)
+    sram = SRAMBuffer("SRAM_sparseID", 64 * 1024)
+    return EmbeddingGatherUnit(registers, sram)
+
+
+class TestAddressGeneration:
+    def test_addresses_are_base_plus_row_offset(self, gather_unit):
+        indices = np.array([0, 3, 7])
+        offsets = np.array([0, 2, 3])
+        gather_unit.load_indices("t0", indices, offsets)
+        requests = gather_unit.request_batch("t0", row_bytes=128)
+        assert [request.address for request in requests] == [
+            0x10_000,
+            0x10_000 + 3 * 128,
+            0x10_000 + 7 * 128,
+        ]
+        assert all(request.num_bytes == 128 for request in requests)
+
+    def test_sample_attribution_follows_offsets(self, gather_unit):
+        gather_unit.load_indices("t0", np.array([1, 2, 3, 4]), np.array([0, 1, 1, 4]))
+        requests = gather_unit.request_batch("t0", row_bytes=128)
+        assert [request.sample_index for request in requests] == [0, 2, 2, 2]
+
+    def test_request_counter(self, gather_unit):
+        gather_unit.load_indices("t0", np.array([1, 2]), np.array([0, 2]))
+        gather_unit.request_batch("t0", row_bytes=128)
+        assert gather_unit.requests_generated == 2
+
+    def test_lines_per_request(self):
+        request = GatherRequest("t", 0, 0, num_bytes=128, sample_index=0)
+        assert request.num_lines == 2
+        assert GatherRequest("t", 0, 0, num_bytes=64, sample_index=0).num_lines == 1
+        assert GatherRequest("t", 0, 0, num_bytes=130, sample_index=0).num_lines == 3
+
+    def test_total_lines_helper(self, gather_unit):
+        gather_unit.load_indices("t0", np.array([1, 2, 3]), np.array([0, 3]))
+        requests = gather_unit.request_batch("t0", row_bytes=128)
+        assert EmbeddingGatherUnit.total_lines(requests) == 6
+
+    def test_unknown_table_raises(self, gather_unit):
+        gather_unit.load_indices("t1", np.array([1]), np.array([0, 1]))
+        with pytest.raises(KeyError):
+            gather_unit.request_batch("t1", row_bytes=128)
+
+    def test_invalid_row_bytes_rejected(self, gather_unit):
+        gather_unit.load_indices("t0", np.array([1]), np.array([0, 1]))
+        with pytest.raises(SimulationError):
+            gather_unit.request_batch("t0", row_bytes=0)
+        with pytest.raises(SimulationError):
+            gather_unit.request_batch("t0", row_bytes=130)
+
+    def test_invalid_offsets_rejected(self, gather_unit):
+        with pytest.raises(SimulationError):
+            gather_unit.load_indices("t0", np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(SimulationError):
+            gather_unit.load_indices("t0", np.array([1, 2]), np.array([2]))
+
+    def test_indices_stored_as_int32(self, gather_unit):
+        gather_unit.load_indices("t0", np.array([5, 6]), np.array([0, 2]))
+        stored = gather_unit.index_sram.read("t0/indices")
+        assert stored.dtype == np.int32

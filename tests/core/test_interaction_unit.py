@@ -1,0 +1,64 @@
+"""Tests for the feature-interaction unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.interaction_unit import FeatureInteractionUnit
+from repro.dlrm.interaction import dot_feature_interaction
+from repro.errors import ConfigurationError, ModelShapeError
+
+
+@pytest.fixture()
+def unit():
+    return FeatureInteractionUnit(num_pes=4)
+
+
+class TestFunctional:
+    def test_matches_software_interaction(self, unit):
+        rng = np.random.default_rng(0)
+        bottom = rng.standard_normal((6, 32)).astype(np.float32)
+        embeddings = rng.standard_normal((6, 5, 32)).astype(np.float32)
+        np.testing.assert_allclose(
+            unit.forward(bottom, embeddings),
+            dot_feature_interaction(bottom, embeddings),
+            rtol=1e-5,
+            atol=1e-5,
+        )
+
+    def test_shape_validation(self, unit):
+        bottom = np.zeros((2, 8), dtype=np.float32)
+        embeddings = np.zeros((2, 3, 8), dtype=np.float32)
+        with pytest.raises(ModelShapeError):
+            unit.forward(bottom[0], embeddings)
+        with pytest.raises(ModelShapeError):
+            unit.forward(bottom, embeddings[:1])
+        with pytest.raises(ModelShapeError):
+            unit.forward(bottom, np.zeros((2, 3, 4), dtype=np.float32))
+
+
+class TestTiming:
+    def test_flops_match_config_formula(self, unit):
+        timing = unit.timing(num_tables=5, embedding_dim=32, batch_size=16)
+        assert timing.flops == 2 * 15 * 32 * 16
+
+    def test_cycles_scale_with_batch(self, unit):
+        small = unit.timing(num_tables=50, embedding_dim=32, batch_size=1)
+        large = unit.timing(num_tables=50, embedding_dim=32, batch_size=128)
+        assert large.cycles > small.cycles
+
+    def test_fifty_table_interaction_is_heavier(self, unit):
+        few = unit.timing(num_tables=5, embedding_dim=32, batch_size=32)
+        many = unit.timing(num_tables=50, embedding_dim=32, batch_size=32)
+        assert many.cycles > few.cycles
+
+    def test_latency_seconds(self, unit):
+        timing = unit.timing(num_tables=5, embedding_dim=32, batch_size=4)
+        assert timing.latency_s(200e6) == pytest.approx(timing.cycles / 200e6)
+
+    def test_validation(self, unit):
+        with pytest.raises(ModelShapeError):
+            unit.timing(0, 32, 1)
+        with pytest.raises(ConfigurationError):
+            FeatureInteractionUnit(num_pes=0)
+        with pytest.raises(ConfigurationError):
+            FeatureInteractionUnit(packing_efficiency=0.0)

@@ -1,0 +1,156 @@
+"""Tests for host memory, the IOMMU and the MMIO interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.mmio import HostMemory, IOMMU, MMIOInterface
+from repro.core.registers import BasePointerRegisters
+from repro.dlrm.embedding import VirtualEmbeddingTable
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestHostMemory:
+    def test_register_assigns_page_aligned_addresses(self):
+        memory = HostMemory(page_bytes=4096)
+        first = memory.register("a", np.zeros(10, dtype=np.float32))
+        second = memory.register("b", np.zeros(10, dtype=np.float32))
+        assert first.base_address % 4096 == 0
+        assert second.base_address % 4096 == 0
+        assert second.base_address >= first.end_address
+
+    def test_duplicate_names_rejected(self):
+        memory = HostMemory()
+        memory.register("a", np.zeros(4, dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            memory.register("a", np.zeros(4, dtype=np.float32))
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HostMemory().register("empty", np.zeros(0, dtype=np.float32))
+
+    def test_read_array_region(self):
+        memory = HostMemory()
+        data = np.arange(16, dtype=np.float32)
+        region = memory.register("data", data)
+        out = memory.read(region.base_address + 8, 12)
+        np.testing.assert_array_equal(out, data[2:5])
+        assert memory.bytes_read == 12
+
+    def test_read_embedding_table_region_at_row_granularity(self):
+        table = VirtualEmbeddingTable(num_rows=100, embedding_dim=8, seed=0)
+        memory = HostMemory()
+        region = memory.register("table", table)
+        row5 = memory.read(region.base_address + 5 * table.row_bytes, table.row_bytes)
+        np.testing.assert_array_equal(row5, table.rows(np.array([5]))[0])
+
+    def test_table_region_rejects_partial_row_reads(self):
+        table = VirtualEmbeddingTable(num_rows=10, embedding_dim=8)
+        memory = HostMemory()
+        region = memory.register("table", table)
+        with pytest.raises(SimulationError):
+            memory.read(region.base_address + 4, 8)
+
+    def test_unmapped_address_rejected(self):
+        memory = HostMemory()
+        memory.register("a", np.zeros(4, dtype=np.float32))
+        with pytest.raises(SimulationError):
+            memory.read(0x1, 4)
+        with pytest.raises(SimulationError):
+            memory.read(0xDEAD0000, 4)
+
+    def test_misaligned_reads_rejected(self):
+        memory = HostMemory()
+        region = memory.register("a", np.zeros(4, dtype=np.float32))
+        with pytest.raises(SimulationError):
+            memory.read(region.base_address + 1, 4)
+        with pytest.raises(SimulationError):
+            memory.read(region.base_address, 3)
+
+    def test_write_into_array_region(self):
+        memory = HostMemory()
+        backing = np.zeros(8, dtype=np.float32)
+        region = memory.register("out", backing)
+        memory.write(region.base_address + 8, np.array([1.5, 2.5], dtype=np.float32))
+        np.testing.assert_array_equal(backing[2:4], [1.5, 2.5])
+        assert memory.bytes_written == 8
+
+    def test_write_into_table_region_rejected(self):
+        table = VirtualEmbeddingTable(num_rows=10, embedding_dim=8)
+        memory = HostMemory()
+        region = memory.register("table", table)
+        with pytest.raises(SimulationError):
+            memory.write(region.base_address, np.zeros(8, dtype=np.float32))
+
+    def test_unregister(self):
+        memory = HostMemory()
+        region = memory.register("a", np.zeros(4, dtype=np.float32))
+        memory.unregister("a")
+        with pytest.raises(SimulationError):
+            memory.read(region.base_address, 4)
+
+    def test_region_lookup_by_name(self):
+        memory = HostMemory()
+        memory.register("a", np.zeros(4, dtype=np.float32))
+        assert memory.region("a").name == "a"
+        with pytest.raises(KeyError):
+            memory.region("b")
+
+
+class TestIOMMU:
+    def test_identity_translation(self):
+        iommu = IOMMU(page_bytes=4096)
+        physical, hit = iommu.translate(4096 * 3 + 128)
+        assert physical == 4096 * 3 + 128
+        assert hit is False
+
+    def test_tlb_hits_on_repeated_pages(self):
+        iommu = IOMMU(page_bytes=4096, tlb_entries=4)
+        iommu.translate(0)
+        _, hit = iommu.translate(64)
+        assert hit is True
+        assert iommu.hit_rate == pytest.approx(0.5)
+
+    def test_tlb_eviction(self):
+        iommu = IOMMU(page_bytes=4096, tlb_entries=2)
+        iommu.translate(0)          # page 0
+        iommu.translate(4096)       # page 1
+        iommu.translate(2 * 4096)   # page 2 evicts page 0 (LRU)
+        _, hit = iommu.translate(0)
+        assert hit is False
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            IOMMU().translate(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IOMMU(page_bytes=0)
+        with pytest.raises(ConfigurationError):
+            IOMMU(tlb_entries=0)
+
+
+class TestMMIOInterface:
+    def test_writes_update_registers_and_latency(self):
+        registers = BasePointerRegisters()
+        mmio = MMIOInterface(registers, write_latency_s=2e-6)
+        latency = mmio.write_base_pointer("table/0", 0x1000)
+        assert latency == pytest.approx(2e-6)
+        assert registers.read("table/0") == 0x1000
+        assert mmio.total_latency_s == pytest.approx(2e-6)
+
+    def test_region_pointer_helper(self):
+        memory = HostMemory()
+        region = memory.register("a", np.zeros(4, dtype=np.float32))
+        registers = BasePointerRegisters()
+        mmio = MMIOInterface(registers)
+        mmio.write_region_pointer("a", region)
+        assert registers.read("a") == region.base_address
+
+    def test_doorbell_counts_as_write(self):
+        mmio = MMIOInterface(BasePointerRegisters())
+        mmio.doorbell()
+        assert mmio.total_writes == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMIOInterface(BasePointerRegisters(), write_latency_s=-1.0)

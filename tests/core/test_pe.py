@@ -1,0 +1,51 @@
+"""Tests for the processing engine (32x32 matrix multiply block)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pe import ProcessingEngine
+from repro.errors import ConfigurationError, ModelShapeError
+
+
+class TestProcessingEngine:
+    def test_multiply_matches_numpy(self):
+        pe = ProcessingEngine(tile_dim=32)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 32)).astype(np.float32)
+        np.testing.assert_allclose(pe.multiply(a, b), a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_shape_enforced(self):
+        pe = ProcessingEngine(tile_dim=32)
+        with pytest.raises(ModelShapeError):
+            pe.multiply(np.zeros((16, 32)), np.zeros((32, 32)))
+
+    def test_cycle_accounting(self):
+        pe = ProcessingEngine(tile_dim=32, flops_per_cycle=78.25)
+        a = np.zeros((32, 32), dtype=np.float32)
+        pe.multiply(a, a)
+        pe.multiply(a, a)
+        assert pe.tile_ops == 2
+        assert pe.cycles == 2 * pe.cycles_per_tile_op
+
+    def test_flops_per_tile(self):
+        pe = ProcessingEngine(tile_dim=32)
+        assert pe.flops_per_tile_op == 2 * 32 ** 3
+
+    def test_cycles_per_tile_matches_paper_throughput(self):
+        # 78.25 FLOPs/cycle -> a 65536-FLOP tile takes 838 cycles.
+        pe = ProcessingEngine(tile_dim=32, flops_per_cycle=78.25)
+        assert pe.cycles_per_tile_op == 838
+
+    def test_reset_counters(self):
+        pe = ProcessingEngine(tile_dim=8)
+        pe.multiply(np.zeros((8, 8)), np.zeros((8, 8)))
+        pe.reset_counters()
+        assert pe.tile_ops == 0
+        assert pe.cycles == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingEngine(tile_dim=0)
+        with pytest.raises(ConfigurationError):
+            ProcessingEngine(flops_per_cycle=0)

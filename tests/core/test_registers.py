@@ -1,0 +1,51 @@
+"""Tests for the base-pointer register file."""
+
+import pytest
+
+from repro.core.registers import BasePointerRegisters
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestBasePointerRegisters:
+    def test_write_then_read(self):
+        registers = BasePointerRegisters()
+        registers.write("table/0", 0x1000)
+        assert registers.read("table/0") == 0x1000
+        assert "table/0" in registers
+        assert registers.reads == 1
+        assert registers.writes == 1
+
+    def test_overwrite_same_name_does_not_consume_capacity(self):
+        registers = BasePointerRegisters(capacity=1)
+        registers.write("ptr", 1)
+        registers.write("ptr", 2)
+        assert registers.read("ptr") == 2
+        assert registers.occupancy == 1
+
+    def test_capacity_enforced(self):
+        registers = BasePointerRegisters(capacity=2)
+        registers.write("a", 1)
+        registers.write("b", 2)
+        with pytest.raises(CapacityError):
+            registers.write("c", 3)
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(KeyError):
+            BasePointerRegisters().read("missing")
+
+    def test_invalid_inputs_rejected(self):
+        registers = BasePointerRegisters()
+        with pytest.raises(ConfigurationError):
+            registers.write("", 1)
+        with pytest.raises(ConfigurationError):
+            registers.write("x", -1)
+        with pytest.raises(ConfigurationError):
+            BasePointerRegisters(capacity=0)
+
+    def test_names_and_clear(self):
+        registers = BasePointerRegisters()
+        registers.write("a", 1)
+        registers.write("b", 2)
+        assert registers.names() == ["a", "b"]
+        registers.clear()
+        assert registers.occupancy == 0

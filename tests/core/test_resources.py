@@ -1,0 +1,122 @@
+"""Tests for the FPGA resource estimator (Tables II and III)."""
+
+import pytest
+
+from repro.config.system import FPGAConfig, FPGAFabricConfig
+from repro.core.resources import FPGAResourceModel
+from repro.errors import ResourceEstimationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FPGAResourceModel(FPGAConfig())
+
+
+class TestTable3Breakdown:
+    def test_module_rows_match_paper_order(self, model):
+        names = [(module.group, module.name) for module in model.all_modules()]
+        assert names == [
+            ("Sparse", "Base ptr reg."),
+            ("Sparse", "Gather unit"),
+            ("Sparse", "Reduction unit"),
+            ("Sparse", "SRAM arrays"),
+            ("Dense", "MLP unit"),
+            ("Dense", "Feat. int. unit"),
+            ("Dense", "SRAM arrays"),
+            ("Dense", "Weights"),
+            ("Others", "Misc."),
+        ]
+
+    def test_reduction_unit_dsps_match_paper(self, model):
+        reduction = model.sparse_modules()[2]
+        assert reduction.dsps == 96
+
+    def test_sparse_index_sram_bits_close_to_paper(self, model):
+        sram = model.sparse_modules()[3]
+        assert sram.block_memory_bits == pytest.approx(12_200_000, rel=0.05)
+
+    def test_mlp_unit_matches_paper(self, model):
+        mlp = model.dense_modules()[0]
+        assert mlp.dsps == 512
+        assert mlp.lc_comb == pytest.approx(40_000, rel=0.05)
+        assert mlp.lc_reg == pytest.approx(131_000, rel=0.05)
+        assert mlp.block_memory_bits == pytest.approx(2_300_000, rel=0.05)
+
+    def test_interaction_unit_matches_paper(self, model):
+        interaction = model.dense_modules()[1]
+        assert interaction.dsps == 128
+        assert interaction.block_memory_bits == pytest.approx(593_000, rel=0.05)
+
+    def test_weight_sram_bits_match_paper(self, model):
+        weights = model.dense_modules()[3]
+        assert weights.block_memory_bits == pytest.approx(5_200_000, rel=0.05)
+
+    def test_group_totals(self, model):
+        totals = model.group_totals()
+        assert totals["Sparse"].dsps == 96
+        assert totals["Dense"].dsps == 688
+        assert totals["Sparse"].block_memory_bits == pytest.approx(12_300_000, rel=0.05)
+        assert totals["Dense"].block_memory_bits == pytest.approx(9_800_000, rel=0.06)
+
+    def test_sparse_complex_is_logic_light(self, model):
+        """The sparse accelerator is mostly SRAM; the dense one is mostly logic/DSP."""
+        totals = model.group_totals()
+        assert totals["Sparse"].lc_comb < 0.05 * totals["Dense"].lc_comb
+        assert totals["Sparse"].dsps < totals["Dense"].dsps
+
+
+class TestTable2Aggregate:
+    def test_alm_count_close_to_paper(self, model):
+        assert model.report().alms == pytest.approx(127_719, rel=0.05)
+
+    def test_block_memory_close_to_paper(self, model):
+        assert model.report().block_memory_bits == pytest.approx(23_700_000, rel=0.05)
+
+    def test_ram_blocks_close_to_paper(self, model):
+        assert model.report().ram_blocks == pytest.approx(2_238, rel=0.06)
+
+    def test_dsp_count_exact(self, model):
+        assert model.report().dsps == 784
+
+    def test_utilization_percentages_match_paper(self, model):
+        report = model.report()
+        assert report.alm_utilization == pytest.approx(0.299, abs=0.02)
+        assert report.block_memory_utilization == pytest.approx(0.426, abs=0.02)
+        assert report.ram_block_utilization == pytest.approx(0.825, abs=0.05)
+        assert report.dsp_utilization == pytest.approx(0.516, abs=0.01)
+        assert report.pll_utilization == pytest.approx(0.273, abs=0.01)
+
+    def test_design_fits_on_gx1150(self, model):
+        report = model.report()
+        assert report.alms < FPGAFabricConfig().alms
+        assert report.dsps < FPGAFabricConfig().dsps
+
+
+class TestScaling:
+    def test_more_pes_use_more_dsps(self):
+        bigger = FPGAResourceModel(FPGAConfig(mlp_pe_rows=6, mlp_pe_cols=6))
+        assert bigger.dense_modules()[0].dsps == 32 * 36
+
+    def test_deeper_index_sram_uses_more_memory(self):
+        deeper = FPGAResourceModel(FPGAConfig(sparse_index_sram_entries=1_000_000))
+        base = FPGAResourceModel(FPGAConfig())
+        assert (
+            deeper.sparse_modules()[3].block_memory_bits
+            > base.sparse_modules()[3].block_memory_bits
+        )
+
+    def test_wider_reduction_uses_more_dsps(self):
+        wider = FPGAResourceModel(FPGAConfig(reduction_lanes=64))
+        assert wider.sparse_modules()[2].dsps == 192
+
+    def test_infeasible_design_rejected(self):
+        huge = FPGAConfig(mlp_pe_rows=16, mlp_pe_cols=16)
+        with pytest.raises(ResourceEstimationError):
+            FPGAResourceModel(huge).report()
+
+    def test_module_alm_and_ram_block_helpers(self, model):
+        module = model.dense_modules()[0]
+        assert model.module_alms(module) > 0
+        assert model.module_ram_blocks(module) > 0
+        zero_mem = model.sparse_modules()[0]
+        assert model.module_ram_blocks(zero_mem) == 0

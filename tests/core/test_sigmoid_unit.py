@@ -1,0 +1,60 @@
+"""Tests for the sigmoid unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.sigmoid_unit import SigmoidUnit
+from repro.dlrm.mlp import sigmoid
+from repro.errors import ConfigurationError
+
+
+class TestExactMode:
+    def test_matches_software_sigmoid(self):
+        unit = SigmoidUnit(mode="exact")
+        logits = np.linspace(-8, 8, 33).astype(np.float32)
+        np.testing.assert_allclose(unit.forward(logits), sigmoid(logits), atol=1e-6)
+
+
+class TestPiecewiseMode:
+    def test_close_to_exact_sigmoid(self):
+        unit = SigmoidUnit(mode="piecewise")
+        logits = np.linspace(-8, 8, 401).astype(np.float32)
+        error = np.abs(unit.forward(logits) - sigmoid(logits))
+        assert error.max() < 0.02
+
+    def test_preserves_monotonicity_and_range(self):
+        unit = SigmoidUnit(mode="piecewise")
+        logits = np.linspace(-20, 20, 801).astype(np.float32)
+        out = unit.forward(logits)
+        assert np.all(np.diff(out) >= -1e-6)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_symmetry(self):
+        unit = SigmoidUnit(mode="piecewise")
+        logits = np.linspace(-5, 5, 101).astype(np.float32)
+        np.testing.assert_allclose(
+            unit.forward(logits) + unit.forward(-logits), 1.0, atol=1e-6
+        )
+
+    def test_saturation(self):
+        unit = SigmoidUnit(mode="piecewise")
+        out = unit.forward(np.array([-100.0, 100.0], dtype=np.float32))
+        assert out[0] == pytest.approx(0.0, abs=1e-3)
+        assert out[1] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestTimingAndValidation:
+    def test_cycles_scale_with_batch(self):
+        unit = SigmoidUnit()
+        assert unit.timing(128).cycles == 128 * unit.cycles_per_element
+        assert unit.timing(1).latency_s(200e6) == pytest.approx(
+            unit.cycles_per_element / 200e6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SigmoidUnit(mode="tanh")
+        with pytest.raises(ConfigurationError):
+            SigmoidUnit(cycles_per_element=0)
+        with pytest.raises(ConfigurationError):
+            SigmoidUnit().timing(0)

@@ -1,0 +1,73 @@
+"""Tests for the on-chip SRAM buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.core.sram import SRAMBuffer
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestSRAMBuffer:
+    def test_write_read_roundtrip(self):
+        sram = SRAMBuffer("test", 1024)
+        data = np.arange(16, dtype=np.float32)
+        sram.write("weights", data)
+        np.testing.assert_array_equal(sram.read("weights"), data)
+        assert sram.total_writes == 1
+        assert sram.total_reads == 1
+
+    def test_capacity_enforced(self):
+        sram = SRAMBuffer("test", 64)
+        with pytest.raises(CapacityError):
+            sram.write("too-big", np.zeros(32, dtype=np.float32))
+
+    def test_capacity_accounts_for_existing_contents(self):
+        sram = SRAMBuffer("test", 128)
+        sram.write("a", np.zeros(16, dtype=np.float32))
+        with pytest.raises(CapacityError):
+            sram.write("b", np.zeros(32, dtype=np.float32))
+
+    def test_replacing_a_key_reuses_its_space(self):
+        sram = SRAMBuffer("test", 128)
+        sram.write("a", np.zeros(32, dtype=np.float32))
+        # Replacing with same size must not raise even though the buffer is full.
+        sram.write("a", np.ones(32, dtype=np.float32))
+        np.testing.assert_array_equal(sram.read("a"), 1)
+
+    def test_replace_can_be_disallowed(self):
+        sram = SRAMBuffer("test", 128)
+        sram.write("a", np.zeros(4, dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            sram.write("a", np.zeros(4, dtype=np.float32), allow_replace=False)
+
+    def test_occupancy_and_free_bytes(self):
+        sram = SRAMBuffer("test", 256)
+        sram.write("a", np.zeros(16, dtype=np.float32))
+        assert sram.used_bytes == 64
+        assert sram.free_bytes == 192
+        assert sram.occupancy == pytest.approx(0.25)
+        assert sram.capacity_bits == 256 * 8
+
+    def test_discard_and_clear(self):
+        sram = SRAMBuffer("test", 256)
+        sram.write("a", np.zeros(8, dtype=np.float32))
+        sram.write("b", np.zeros(8, dtype=np.float32))
+        sram.discard("a")
+        assert "a" not in sram and "b" in sram
+        sram.discard("a")  # idempotent
+        sram.clear()
+        assert sram.used_bytes == 0
+
+    def test_maybe_read(self):
+        sram = SRAMBuffer("test", 64)
+        assert sram.maybe_read("missing") is None
+        sram.write("x", np.zeros(2, dtype=np.float32))
+        assert sram.maybe_read("x") is not None
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            SRAMBuffer("test", 64).read("missing")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRAMBuffer("test", 0)

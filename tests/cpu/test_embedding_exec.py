@@ -1,0 +1,84 @@
+"""Tests for the CPU embedding-layer execution model (Figure 7's engine)."""
+
+import pytest
+
+from repro.config import DLRM1, DLRM2, DLRM4, DLRM5, DLRM6
+from repro.config.system import CPUConfig, MemoryConfig
+from repro.cpu.embedding_exec import EmbeddingExecutionModel
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def model():
+    return EmbeddingExecutionModel(cpu=CPUConfig(), memory=MemoryConfig())
+
+
+class TestLatencyDecomposition:
+    def test_components_sum_to_latency(self, model):
+        estimate = model.estimate(DLRM1, 16)
+        assert estimate.latency_s == pytest.approx(
+            estimate.fixed_s + estimate.dispatch_s + estimate.software_s + estimate.memory_s
+        )
+
+    def test_dispatch_scales_with_tables(self, model):
+        five_tables = model.estimate(DLRM1, 8).dispatch_s
+        fifty_tables = model.estimate(DLRM2, 8).dispatch_s
+        assert fifty_tables == pytest.approx(10 * five_tables)
+
+    def test_latency_grows_with_batch(self, model):
+        latencies = [model.estimate(DLRM4, batch).latency_s for batch in (1, 16, 128)]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_memory_parallelism_tracks_batch(self, model):
+        assert model.estimate(DLRM4, 1).outstanding_misses == 10
+        assert model.estimate(DLRM4, 128).outstanding_misses == 140
+
+    def test_rejects_bad_batch(self, model):
+        with pytest.raises(SimulationError):
+            model.estimate(DLRM1, 0)
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(SimulationError):
+            EmbeddingExecutionModel(
+                cpu=CPUConfig(), memory=MemoryConfig(), layer_fixed_s=-1e-6
+            )
+
+
+class TestEffectiveThroughput:
+    """Shape checks against the paper's Figure 7."""
+
+    def test_throughput_grows_with_batch(self, model):
+        throughputs = [
+            model.effective_throughput(DLRM4, batch) for batch in (1, 4, 16, 64, 128)
+        ]
+        assert throughputs == sorted(throughputs)
+
+    def test_throughput_far_below_dram_peak(self, model):
+        peak = MemoryConfig().peak_bandwidth
+        for config in (DLRM1, DLRM2, DLRM4, DLRM5, DLRM6):
+            for batch in (1, 32, 128):
+                assert model.effective_throughput(config, batch) < 0.4 * peak
+
+    def test_small_batch_throughput_is_poor(self, model):
+        # Batch-1 inference achieves only a GB/s or so (Figure 7a, left bars).
+        for config in (DLRM1, DLRM2, DLRM4):
+            assert model.effective_throughput(config, 1) < 2e9
+
+    def test_large_batch_big_model_reaches_high_teens(self, model):
+        # DLRM(4)/(5) at batch 128 reach the 15-20 GB/s regime, which is what
+        # lets the CPU overtake the link-limited EB-Streamer there (Sec VI-B).
+        assert 1.3e10 < model.effective_throughput(DLRM4, 128) < 2.2e10
+        assert 1.3e10 < model.effective_throughput(DLRM5, 128) < 2.2e10
+
+    def test_more_lookups_per_table_help(self, model):
+        # Figure 7(b): throughput grows with the number of lookups per table.
+        assert model.effective_throughput(DLRM3 := DLRM1.with_gathers_per_table(80), 16) > (
+            model.effective_throughput(DLRM1, 16)
+        )
+
+    def test_dlrm6_lightweight_embedding_has_lowest_throughput(self, model):
+        assert model.effective_throughput(DLRM6, 32) < model.effective_throughput(DLRM1, 32)
+
+    def test_traffic_useful_bytes_match_config(self, model):
+        estimate = model.estimate(DLRM1, 8)
+        assert estimate.traffic.useful_bytes == DLRM1.embedding_bytes_per_sample() * 8

@@ -1,0 +1,69 @@
+"""Tests for the CPU GEMM performance model."""
+
+import pytest
+
+from repro.config import DLRM1, DLRM6
+from repro.config.system import CPUConfig
+from repro.cpu.gemm import CPUGemmModel
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def gemm():
+    return CPUGemmModel(cpu=CPUConfig())
+
+
+class TestEfficiencyCurve:
+    def test_efficiency_grows_with_batch(self, gemm):
+        efficiencies = [gemm.efficiency(batch) for batch in (1, 4, 16, 64, 128)]
+        assert efficiencies == sorted(efficiencies)
+        assert efficiencies[0] == pytest.approx(gemm.efficiency_batch1)
+
+    def test_efficiency_bounded_by_asymptote(self, gemm):
+        assert gemm.efficiency(10_000) < gemm.efficiency_large_batch
+
+    def test_sustained_flops_below_peak(self, gemm):
+        assert gemm.sustained_flops(128) < gemm.cpu.peak_flops
+
+    def test_rejects_bad_batch(self, gemm):
+        with pytest.raises(SimulationError):
+            gemm.efficiency(0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SimulationError):
+            CPUGemmModel(cpu=CPUConfig(), efficiency_batch1=0.5, efficiency_large_batch=0.1)
+        with pytest.raises(SimulationError):
+            CPUGemmModel(cpu=CPUConfig(), batch_half_point=0)
+
+
+class TestEstimates:
+    def test_zero_flops_costs_only_overhead(self, gemm):
+        estimate = gemm.estimate(0, batch_size=4, num_layers=3)
+        assert estimate.latency_s == pytest.approx(3 * gemm.per_layer_overhead_s)
+
+    def test_latency_scales_with_flops(self, gemm):
+        small = gemm.estimate(1e6, batch_size=16, num_layers=0)
+        large = gemm.estimate(4e6, batch_size=16, num_layers=0)
+        assert large.latency_s == pytest.approx(4 * small.latency_s)
+
+    def test_estimate_model_counts_all_layers(self, gemm):
+        estimate = gemm.estimate_model(DLRM1, 16)
+        expected_layers = DLRM1.bottom_mlp.num_layers + DLRM1.top_mlp.num_layers + 1
+        assert estimate.overhead_s == pytest.approx(
+            expected_layers * gemm.per_layer_overhead_s
+        )
+        assert estimate.flops == DLRM1.total_dense_flops_per_sample() * 16
+
+    def test_per_sample_latency_amortizes_with_batch(self, gemm):
+        batch1 = gemm.estimate_model(DLRM6, 1).latency_s
+        batch128 = gemm.estimate_model(DLRM6, 128).latency_s / 128
+        assert batch128 < batch1
+
+    def test_dlrm6_mlp_heavier_than_dlrm1(self, gemm):
+        assert gemm.estimate_model(DLRM6, 32).latency_s > gemm.estimate_model(DLRM1, 32).latency_s
+
+    def test_negative_inputs_rejected(self, gemm):
+        with pytest.raises(SimulationError):
+            gemm.estimate(-1, 4, 1)
+        with pytest.raises(SimulationError):
+            gemm.estimate(1, 4, -1)

@@ -1,0 +1,55 @@
+"""Tests for the thread-level-parallelism model."""
+
+import pytest
+
+from repro.config.system import CPUConfig
+from repro.cpu.threads import ThreadPoolModel
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def threads():
+    return ThreadPoolModel(CPUConfig(num_cores=14, mshrs_per_core=10))
+
+
+class TestThreadsForBatch:
+    def test_batch_one_uses_one_thread(self, threads):
+        """The key low-batch pathology: one sample -> one OpenMP worker."""
+        assert threads.threads_for_batch(1) == 1
+
+    def test_batch_bounded_by_cores(self, threads):
+        assert threads.threads_for_batch(4) == 4
+        assert threads.threads_for_batch(128) == 14
+
+    def test_rejects_bad_batch(self, threads):
+        with pytest.raises(SimulationError):
+            threads.threads_for_batch(0)
+
+
+class TestEffectiveParallelism:
+    def test_single_thread_has_no_penalty(self, threads):
+        assert threads.effective_parallelism(1) == 1.0
+
+    def test_multi_thread_below_ideal(self, threads):
+        effective = threads.effective_parallelism(128)
+        assert 1.0 < effective < 14.0
+
+    def test_efficiency_bounds_validated(self):
+        with pytest.raises(SimulationError):
+            ThreadPoolModel(CPUConfig(), parallel_efficiency=0.0)
+        with pytest.raises(SimulationError):
+            ThreadPoolModel(CPUConfig(), parallel_efficiency=1.5)
+
+
+class TestMemoryLevelParallelism:
+    def test_outstanding_misses_scale_with_threads(self, threads):
+        assert threads.outstanding_misses(1) == 10
+        assert threads.outstanding_misses(128) == 140
+
+    def test_per_thread_share(self, threads):
+        assert threads.per_thread_share(1000, 1) == pytest.approx(1000)
+        assert threads.per_thread_share(1000, 128) < 1000 / 10
+
+    def test_per_thread_share_validation(self, threads):
+        with pytest.raises(SimulationError):
+            threads.per_thread_share(-1, 4)

@@ -1,0 +1,88 @@
+"""Tests for the dot-product feature interaction stage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dlrm.interaction import dot_feature_interaction, interaction_output_dim
+from repro.dlrm.reference import reference_dot_interaction
+from repro.errors import ModelShapeError
+
+
+def random_inputs(batch, tables, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    bottom = rng.standard_normal((batch, dim)).astype(np.float32)
+    embeddings = rng.standard_normal((batch, tables, dim)).astype(np.float32)
+    return bottom, embeddings
+
+
+class TestDotFeatureInteraction:
+    def test_output_dimension(self):
+        bottom, embeddings = random_inputs(batch=3, tables=4, dim=8)
+        out = dot_feature_interaction(bottom, embeddings)
+        assert out.shape == (3, interaction_output_dim(4, 8))
+
+    def test_layout_starts_with_bottom_vector(self):
+        bottom, embeddings = random_inputs(batch=2, tables=2, dim=4)
+        out = dot_feature_interaction(bottom, embeddings)
+        np.testing.assert_allclose(out[:, :4], bottom, rtol=1e-6)
+
+    def test_matches_naive_reference(self):
+        bottom, embeddings = random_inputs(batch=5, tables=6, dim=16, seed=3)
+        fast = dot_feature_interaction(bottom, embeddings)
+        reference = reference_dot_interaction(bottom, embeddings)
+        np.testing.assert_allclose(fast, reference, rtol=1e-4, atol=1e-4)
+
+    def test_known_small_case(self):
+        # One table, dim 2: single pair dot product between bottom and table-0.
+        bottom = np.array([[1.0, 2.0]], dtype=np.float32)
+        embeddings = np.array([[[3.0, 4.0]]], dtype=np.float32)
+        out = dot_feature_interaction(bottom, embeddings)
+        np.testing.assert_allclose(out, [[1.0, 2.0, 11.0]])
+
+    def test_shape_validation(self):
+        bottom, embeddings = random_inputs(batch=2, tables=2, dim=4)
+        with pytest.raises(ModelShapeError):
+            dot_feature_interaction(bottom[0], embeddings)
+        with pytest.raises(ModelShapeError):
+            dot_feature_interaction(bottom, embeddings[0])
+        with pytest.raises(ModelShapeError):
+            dot_feature_interaction(bottom, embeddings[:1])
+        with pytest.raises(ModelShapeError):
+            dot_feature_interaction(bottom, embeddings[:, :, :2])
+
+    @given(
+        batch=st.integers(min_value=1, max_value=6),
+        tables=st.integers(min_value=1, max_value=8),
+        dim=st.sampled_from([2, 4, 8]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, batch, tables, dim, seed):
+        bottom, embeddings = random_inputs(batch, tables, dim, seed)
+        fast = dot_feature_interaction(bottom, embeddings)
+        reference = reference_dot_interaction(bottom, embeddings)
+        np.testing.assert_allclose(fast, reference, rtol=1e-3, atol=1e-3)
+
+    def test_scaling_a_vector_scales_its_pairs(self):
+        bottom, embeddings = random_inputs(batch=1, tables=2, dim=4, seed=7)
+        base = dot_feature_interaction(bottom, embeddings)
+        scaled_embeddings = embeddings.copy()
+        scaled_embeddings[:, 0, :] *= 2.0
+        scaled = dot_feature_interaction(bottom, scaled_embeddings)
+        dim = 4
+        # Pair (table0, bottom) and pair (table1, table0) double; (table1, bottom) unchanged.
+        assert scaled[0, dim + 0] == pytest.approx(2 * base[0, dim + 0], rel=1e-5)
+        assert scaled[0, dim + 1] == pytest.approx(base[0, dim + 1], rel=1e-5)
+        assert scaled[0, dim + 2] == pytest.approx(2 * base[0, dim + 2], rel=1e-5)
+
+
+class TestInteractionOutputDim:
+    def test_matches_pair_formula(self):
+        assert interaction_output_dim(num_tables=5, embedding_dim=32) == 15 + 32
+
+    def test_validation(self):
+        with pytest.raises(ModelShapeError):
+            interaction_output_dim(0, 32)
+        with pytest.raises(ModelShapeError):
+            interaction_output_dim(5, 0)

@@ -1,0 +1,127 @@
+"""Tests for linear layers, MLP stacks and activations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.models import MLPConfig
+from repro.dlrm.mlp import MLP, LinearLayer, relu, sigmoid
+from repro.dlrm.reference import reference_mlp_forward
+from repro.errors import ModelShapeError
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        values = np.array([-1.0, 0.0, 2.5], dtype=np.float32)
+        np.testing.assert_array_equal(relu(values), [0.0, 0.0, 2.5])
+
+    def test_sigmoid_range_and_symmetry(self):
+        values = np.linspace(-50, 50, 101).astype(np.float32)
+        out = sigmoid(values)
+        assert np.all(out >= 0) and np.all(out <= 1)
+        np.testing.assert_allclose(out + sigmoid(-values), 1.0, atol=1e-6)
+
+    def test_sigmoid_at_zero(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_numerically_stable_for_large_magnitudes(self):
+        out = sigmoid(np.array([-1e4, 1e4], dtype=np.float32))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestLinearLayer:
+    def test_forward_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        layer = LinearLayer.random(5, 3, rng)
+        inputs = rng.standard_normal((4, 5)).astype(np.float32)
+        expected = inputs @ layer.weight + layer.bias
+        np.testing.assert_allclose(layer.forward(inputs), expected, rtol=1e-6)
+
+    def test_shape_validation(self):
+        layer = LinearLayer.random(5, 3)
+        with pytest.raises(ModelShapeError):
+            layer.forward(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ModelShapeError):
+            LinearLayer(np.zeros((5, 3)), np.zeros(4))
+        with pytest.raises(ModelShapeError):
+            LinearLayer(np.zeros(5), np.zeros(5))
+
+    def test_parameter_count(self):
+        layer = LinearLayer.random(5, 3)
+        assert layer.num_parameters == 5 * 3 + 3
+
+    def test_xavier_bounds(self):
+        layer = LinearLayer.random(100, 100, np.random.default_rng(1))
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(layer.weight) <= limit + 1e-6)
+        np.testing.assert_array_equal(layer.bias, 0)
+
+
+class TestMLP:
+    def test_from_config_shapes(self):
+        mlp = MLP.from_config(MLPConfig(layer_dims=(13, 64, 32)), np.random.default_rng(0))
+        assert mlp.in_dim == 13
+        assert mlp.out_dim == 32
+        assert mlp.num_parameters == 13 * 64 + 64 + 64 * 32 + 32
+
+    def test_layer_chaining_validated(self):
+        layers = [LinearLayer.random(4, 8), LinearLayer.random(9, 2)]
+        with pytest.raises(ModelShapeError):
+            MLP(layers)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelShapeError):
+            MLP([])
+
+    def test_bad_final_activation_rejected(self):
+        with pytest.raises(ModelShapeError):
+            MLP([LinearLayer.random(4, 2)], final_activation="tanh")
+
+    def test_relu_applied_between_layers_only(self):
+        # With weights forcing negative intermediate values, the final output
+        # can be negative (no ReLU after the last layer).
+        weight1 = -np.eye(2, dtype=np.float32)
+        weight2 = np.eye(2, dtype=np.float32)
+        mlp = MLP(
+            [
+                LinearLayer(weight1, np.zeros(2, dtype=np.float32)),
+                LinearLayer(weight2, np.array([-1.0, -1.0], dtype=np.float32)),
+            ]
+        )
+        out = mlp.forward(np.array([[1.0, 1.0]], dtype=np.float32))
+        # First layer gives (-1,-1) -> ReLU -> (0,0); second layer bias -> (-1,-1).
+        np.testing.assert_allclose(out, [[-1.0, -1.0]])
+
+    def test_final_activation_sigmoid(self):
+        mlp = MLP.from_config(
+            MLPConfig(layer_dims=(4, 8, 1)),
+            np.random.default_rng(0),
+            final_activation="sigmoid",
+        )
+        out = mlp.forward(np.random.default_rng(1).standard_normal((10, 4)).astype(np.float32))
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(3)
+        mlp = MLP.from_config(MLPConfig(layer_dims=(6, 10, 4, 2)), rng)
+        inputs = rng.standard_normal((5, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            mlp.forward(inputs), reference_mlp_forward(mlp, inputs), rtol=1e-4, atol=1e-5
+        )
+
+    def test_flops_matches_config(self):
+        config = MLPConfig(layer_dims=(6, 10, 4, 2))
+        mlp = MLP.from_config(config)
+        assert mlp.flops_per_sample() == config.flops_per_sample()
+
+    @given(
+        dims=st.lists(st.integers(min_value=1, max_value=16), min_size=2, max_size=4),
+        batch=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_output_shape(self, dims, batch):
+        mlp = MLP.from_config(MLPConfig(layer_dims=tuple(dims)), np.random.default_rng(0))
+        inputs = np.random.default_rng(1).standard_normal((batch, dims[0])).astype(np.float32)
+        assert mlp.forward(inputs).shape == (batch, dims[-1])

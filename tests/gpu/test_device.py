@@ -1,0 +1,56 @@
+"""Tests for the GPU GEMM throughput model."""
+
+import pytest
+
+from repro.config import DLRM1, DLRM6
+from repro.config.system import GPUConfig
+from repro.errors import SimulationError
+from repro.gpu.device import GPUDevice
+
+
+@pytest.fixture()
+def device():
+    return GPUDevice(gpu=GPUConfig())
+
+
+class TestEfficiency:
+    def test_grows_with_batch(self, device):
+        efficiencies = [device.efficiency(batch) for batch in (1, 16, 64, 128)]
+        assert efficiencies == sorted(efficiencies)
+
+    def test_bounded_by_config(self, device):
+        assert device.efficiency(1) == pytest.approx(device.gpu.gemm_efficiency_small)
+        assert device.efficiency(100_000) < device.gpu.gemm_efficiency_large
+
+    def test_rejects_bad_inputs(self, device):
+        with pytest.raises(SimulationError):
+            device.efficiency(0)
+        with pytest.raises(SimulationError):
+            GPUDevice(gpu=GPUConfig(), batch_half_point=0)
+
+
+class TestEstimates:
+    def test_launch_overhead_dominates_tiny_work(self, device):
+        estimate = device.estimate(1_000, batch_size=1, num_kernels=8)
+        assert estimate.launch_s > estimate.compute_s
+
+    def test_estimate_model_flops(self, device):
+        estimate = device.estimate_model(DLRM1, 32)
+        assert estimate.flops == DLRM1.total_dense_flops_per_sample() * 32
+
+    def test_gpu_mlp_amortizes_with_batch(self, device):
+        per_sample_1 = device.estimate_model(DLRM6, 1).latency_s
+        per_sample_128 = device.estimate_model(DLRM6, 128).latency_s / 128
+        assert per_sample_128 < per_sample_1
+
+    def test_negative_inputs_rejected(self, device):
+        with pytest.raises(SimulationError):
+            device.estimate(-1, 1, 1)
+        with pytest.raises(SimulationError):
+            device.estimate(1, 1, -1)
+
+    def test_sustained_flops_property(self, device):
+        estimate = device.estimate(1e9, batch_size=128, num_kernels=0)
+        assert estimate.sustained_flops == pytest.approx(
+            device.gpu.peak_flops * device.efficiency(128), rel=1e-6
+        )

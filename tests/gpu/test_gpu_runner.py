@@ -1,0 +1,69 @@
+"""Tests for the CPU-GPU design-point runner."""
+
+import pytest
+
+from repro.config import DLRM1, DLRM4, DLRM6, HARPV2_SYSTEM
+from repro.cpu import CPUOnlyRunner
+from repro.errors import SimulationError
+from repro.gpu import CPUGPURunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return CPUGPURunner(HARPV2_SYSTEM)
+
+
+@pytest.fixture(scope="module")
+def cpu_runner():
+    return CPUOnlyRunner(HARPV2_SYSTEM)
+
+
+class TestRunnerOutputs:
+    def test_breakdown_includes_pcie_stage(self, runner):
+        result = runner.run(DLRM1, 16)
+        assert set(result.breakdown.stages) == {"EMB", "PCIe", "MLP", "Other"}
+        assert result.design_point == "CPU-GPU"
+
+    def test_power_is_cpu_plus_gpu(self, runner):
+        result = runner.run(DLRM1, 1)
+        assert result.power_watts == pytest.approx(91.0 + 56.0)
+
+    def test_pcie_bytes_scale_with_tables_and_batch(self, runner):
+        small = runner.run(DLRM1, 1).extra["pcie_bytes"]
+        large = runner.run(DLRM4, 64).extra["pcie_bytes"]
+        assert large > small
+
+    def test_rejects_bad_batch(self, runner):
+        with pytest.raises(SimulationError):
+            runner.run(DLRM1, 0)
+
+
+class TestPaperShapes:
+    def test_embedding_stage_identical_to_cpu_only(self, runner, cpu_runner):
+        """The CPU-GPU design gathers embeddings on the CPU exactly like CPU-only."""
+        for batch in (1, 32, 128):
+            gpu_emb = runner.run(DLRM4, batch).breakdown.get("EMB")
+            cpu_emb = cpu_runner.run(DLRM4, batch).breakdown.get("EMB")
+            assert gpu_emb == pytest.approx(cpu_emb, rel=1e-9)
+
+    def test_offload_overhead_hurts_small_batches(self, runner, cpu_runner):
+        """At batch 1 the PCIe/driver overhead outweighs the GPU's GEMM advantage."""
+        for model in (DLRM1, DLRM4, DLRM6):
+            cpu = cpu_runner.run(model, 1)
+            gpu = runner.run(model, 1)
+            assert gpu.latency_seconds > cpu.latency_seconds
+
+    def test_gpu_wins_only_for_mlp_heavy_large_batches(self, runner, cpu_runner):
+        """DLRM(6) at large batch is the one regime where the GPU design can win."""
+        cpu = cpu_runner.run(DLRM6, 128)
+        gpu = runner.run(DLRM6, 128)
+        assert gpu.latency_seconds < cpu.latency_seconds
+
+    def test_cpu_only_more_energy_efficient_on_embedding_heavy_models(
+        self, runner, cpu_runner
+    ):
+        """Figure 15(b): CPU-only beats CPU-GPU on energy for embedding-bound models."""
+        for batch in (1, 16, 64):
+            cpu = cpu_runner.run(DLRM4, batch)
+            gpu = runner.run(DLRM4, batch)
+            assert cpu.energy_efficiency_over(gpu) > 1.0

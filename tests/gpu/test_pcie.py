@@ -1,0 +1,50 @@
+"""Tests for the PCIe transfer model."""
+
+import pytest
+
+from repro.config.system import GPUConfig
+from repro.errors import SimulationError
+from repro.gpu.pcie import PCIeLink
+
+
+@pytest.fixture()
+def link():
+    return PCIeLink(gpu=GPUConfig())
+
+
+class TestTransfer:
+    def test_zero_bytes_is_free(self, link):
+        estimate = link.transfer(0)
+        assert estimate.latency_s == 0.0
+        assert estimate.achieved_bandwidth == 0.0
+
+    def test_small_transfer_dominated_by_fixed_latency(self, link):
+        estimate = link.transfer(128)
+        assert estimate.fixed_s > estimate.streaming_s
+        assert estimate.latency_s == pytest.approx(estimate.fixed_s + estimate.streaming_s)
+
+    def test_large_transfer_approaches_link_bandwidth(self, link):
+        estimate = link.transfer(1_000_000_000)
+        assert estimate.achieved_bandwidth == pytest.approx(
+            link.gpu.pcie_bandwidth, rel=0.01
+        )
+
+    def test_achieved_bandwidth_never_exceeds_link(self, link):
+        for size in (64, 4096, 1_000_000, 100_000_000):
+            assert link.transfer(size).achieved_bandwidth <= link.gpu.pcie_bandwidth
+
+    def test_negative_bytes_rejected(self, link):
+        with pytest.raises(SimulationError):
+            link.transfer(-1)
+
+
+class TestRoundTrip:
+    def test_round_trip_sums_both_directions(self, link):
+        total = link.round_trip(1_000_000, 4_000)
+        assert total == pytest.approx(
+            link.transfer(1_000_000).latency_s + link.transfer(4_000).latency_s
+        )
+
+    def test_round_trip_pays_two_fixed_latencies(self, link):
+        total = link.round_trip(64, 64)
+        assert total >= 2 * link.gpu.pcie_latency_s

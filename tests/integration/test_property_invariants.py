@@ -1,0 +1,118 @@
+"""Cross-cutting property-based invariants over the performance models.
+
+These hypothesis tests exercise the runners over arbitrary (model shape,
+batch size) combinations and check invariants that must hold regardless of
+calibration constants: accounting identities, monotonicity in work, and
+consistency between the different ways of computing the same quantity.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import HARPV2_SYSTEM
+from repro.config.models import homogeneous_dlrm
+from repro.core import CentaurRunner
+from repro.cpu import CPUOnlyRunner
+from repro.gpu import CPUGPURunner
+
+
+def arbitrary_model(num_tables, gathers, rows_scale):
+    return homogeneous_dlrm(
+        name=f"prop-{num_tables}-{gathers}-{rows_scale}",
+        num_tables=num_tables,
+        rows_per_table=rows_scale * 10_000,
+        gathers_per_table=gathers,
+    )
+
+
+MODEL_STRATEGY = st.builds(
+    arbitrary_model,
+    num_tables=st.integers(min_value=1, max_value=60),
+    gathers=st.integers(min_value=1, max_value=100),
+    rows_scale=st.integers(min_value=1, max_value=60),
+)
+BATCH_STRATEGY = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256])
+
+
+class TestAccountingIdentities:
+    @given(model=MODEL_STRATEGY, batch=BATCH_STRATEGY)
+    @settings(max_examples=25, deadline=None)
+    def test_energy_is_power_times_latency(self, model, batch):
+        for runner in (
+            CPUOnlyRunner(HARPV2_SYSTEM),
+            CPUGPURunner(HARPV2_SYSTEM),
+            CentaurRunner(HARPV2_SYSTEM),
+        ):
+            result = runner.run(model, batch)
+            assert result.energy_joules == pytest.approx(
+                result.power_watts * result.latency_seconds, rel=1e-9
+            )
+            assert result.latency_seconds == pytest.approx(
+                sum(result.breakdown.stages.values()), rel=1e-9
+            )
+            assert result.latency_seconds > 0
+
+    @given(model=MODEL_STRATEGY, batch=BATCH_STRATEGY)
+    @settings(max_examples=25, deadline=None)
+    def test_speedup_reciprocity(self, model, batch):
+        cpu = CPUOnlyRunner(HARPV2_SYSTEM).run(model, batch)
+        centaur = CentaurRunner(HARPV2_SYSTEM).run(model, batch)
+        forward = centaur.speedup_over(cpu)
+        backward = cpu.speedup_over(centaur)
+        assert forward * backward == pytest.approx(1.0, rel=1e-9)
+
+    @given(model=MODEL_STRATEGY, batch=BATCH_STRATEGY)
+    @settings(max_examples=25, deadline=None)
+    def test_useful_bytes_match_configuration(self, model, batch):
+        cpu = CPUOnlyRunner(HARPV2_SYSTEM).run(model, batch)
+        centaur = CentaurRunner(HARPV2_SYSTEM).run(model, batch)
+        expected = model.embedding_bytes_per_sample() * batch
+        assert cpu.embedding_traffic.useful_bytes == pytest.approx(expected)
+        assert centaur.embedding_traffic.useful_bytes == pytest.approx(expected)
+
+
+class TestMonotonicity:
+    @given(model=MODEL_STRATEGY)
+    @settings(max_examples=15, deadline=None)
+    def test_latency_monotone_in_batch(self, model):
+        for runner in (CPUOnlyRunner(HARPV2_SYSTEM), CentaurRunner(HARPV2_SYSTEM)):
+            latencies = [runner.run(model, batch).latency_seconds for batch in (4, 16, 64, 256)]
+            assert latencies == sorted(latencies)
+
+    @given(
+        gathers=st.integers(min_value=1, max_value=60),
+        batch=st.sampled_from([4, 16, 64]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_more_gathers_more_embedding_time(self, gathers, batch):
+        base = arbitrary_model(8, gathers, 10)
+        heavier = arbitrary_model(8, gathers * 2, 10)
+        for runner in (CPUOnlyRunner(HARPV2_SYSTEM), CentaurRunner(HARPV2_SYSTEM)):
+            assert (
+                runner.run(heavier, batch).breakdown.get("EMB")
+                > runner.run(base, batch).breakdown.get("EMB")
+            )
+
+
+class TestPhysicalBounds:
+    @given(model=MODEL_STRATEGY, batch=BATCH_STRATEGY)
+    @settings(max_examples=25, deadline=None)
+    def test_throughputs_respect_hardware_limits(self, model, batch):
+        cpu = CPUOnlyRunner(HARPV2_SYSTEM)
+        centaur = CentaurRunner(HARPV2_SYSTEM)
+        assert (
+            cpu.effective_embedding_throughput(model, batch)
+            <= HARPV2_SYSTEM.memory.peak_bandwidth
+        )
+        assert (
+            centaur.effective_embedding_throughput(model, batch)
+            <= HARPV2_SYSTEM.link.effective_bandwidth
+        )
+
+    @given(model=MODEL_STRATEGY, batch=BATCH_STRATEGY)
+    @settings(max_examples=25, deadline=None)
+    def test_llc_counters_consistent(self, model, batch):
+        result = CPUOnlyRunner(HARPV2_SYSTEM).run(model, batch)
+        result.embedding_traffic.llc.validate()
+        result.mlp_traffic.llc.validate()
+        assert 0.0 <= result.embedding_traffic.llc.miss_rate <= 1.0

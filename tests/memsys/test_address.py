@@ -1,0 +1,66 @@
+"""Tests for address mapping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.address import AddressMapper, cache_lines_for_vector
+
+
+class TestAddressMapper:
+    def test_line_address(self):
+        mapper = AddressMapper(line_bytes=64)
+        assert mapper.line_address(0) == 0
+        assert mapper.line_address(63) == 0
+        assert mapper.line_address(64) == 1
+
+    def test_line_address_vectorized(self):
+        mapper = AddressMapper(line_bytes=64)
+        np.testing.assert_array_equal(
+            mapper.line_address(np.array([0, 64, 130])), [0, 1, 2]
+        )
+
+    def test_line_span_covers_unaligned_ranges(self):
+        mapper = AddressMapper(line_bytes=64)
+        # A 128-byte embedding vector starting mid-line touches three lines.
+        np.testing.assert_array_equal(mapper.line_span(32, 128), [0, 1, 2])
+        np.testing.assert_array_equal(mapper.line_span(0, 128), [0, 1])
+
+    def test_line_span_empty(self):
+        mapper = AddressMapper()
+        assert mapper.line_span(100, 0).size == 0
+
+    def test_channel_interleaving(self):
+        mapper = AddressMapper(num_channels=4)
+        channels = [mapper.channel_of_line(line) for line in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_dram_row_and_bank(self):
+        mapper = AddressMapper(row_buffer_bytes=8192, num_channels=2, banks_per_channel=4)
+        assert mapper.dram_row(8191) == 0
+        assert mapper.dram_row(8192) == 1
+        assert mapper.bank_of_row(9) == 9 % 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(line_bytes=0)
+        with pytest.raises(ConfigurationError):
+            AddressMapper(line_bytes=48)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            AddressMapper(row_buffer_bytes=32, line_bytes=64)
+
+
+class TestCacheLinesForVector:
+    def test_paper_default_vector_spans_two_lines(self):
+        # 32-dimensional fp32 embedding = 128 bytes = 2 cache lines.
+        assert cache_lines_for_vector(128, 64) == 2
+
+    def test_rounding_up(self):
+        assert cache_lines_for_vector(129, 64) == 3
+        assert cache_lines_for_vector(1, 64) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cache_lines_for_vector(0, 64)
+        with pytest.raises(ConfigurationError):
+            cache_lines_for_vector(128, 0)

@@ -1,0 +1,140 @@
+"""Tests for the analytic cache/traffic models (the fast path of Figures 6-7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DLRM1, DLRM4, DLRM5, DLRM6
+from repro.config.system import CPUConfig
+from repro.errors import SimulationError
+from repro.memsys.analytic import (
+    AnalyticCacheModel,
+    EmbeddingAccessProfile,
+    MLPAccessProfile,
+    expected_unique_fraction,
+    memory_level_parallelism_bandwidth,
+)
+
+
+class TestLittlesLaw:
+    def test_bandwidth_formula(self):
+        bandwidth = memory_level_parallelism_bandwidth(140, 64, 140e-9)
+        assert bandwidth == pytest.approx(140 * 64 / 140e-9)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            memory_level_parallelism_bandwidth(0, 64, 1e-7)
+
+
+class TestExpectedUniqueFraction:
+    def test_single_draw_is_unique(self):
+        assert expected_unique_fraction(1000, 1) == pytest.approx(1.0)
+
+    def test_many_draws_over_small_population_saturate(self):
+        assert expected_unique_fraction(10, 10_000) < 0.01
+
+    def test_monotonically_decreasing_in_draws(self):
+        fractions = [expected_unique_fraction(1000, draws) for draws in (1, 10, 100, 1000)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    @given(
+        population=st.integers(min_value=1, max_value=10**6),
+        draws=st.integers(min_value=0, max_value=10**5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_between_zero_and_one(self, population, draws):
+        fraction = expected_unique_fraction(population, draws)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestAnalyticCacheModel:
+    def test_small_structure_is_resident(self):
+        model = AnalyticCacheModel(llc_bytes=35 * 1024 * 1024)
+        assert model.resident_probability(1024 * 1024) == 1.0
+        assert model.gather_miss_probability(1024 * 1024) == 0.0
+
+    def test_huge_table_mostly_misses(self):
+        model = AnalyticCacheModel(llc_bytes=35 * 1024 * 1024)
+        assert model.gather_miss_probability(3_200_000_000) > 0.98
+
+    def test_miss_probability_monotone_in_footprint(self):
+        model = AnalyticCacheModel(llc_bytes=35 * 1024 * 1024)
+        probabilities = [
+            model.gather_miss_probability(bytes_)
+            for bytes_ in (10_000_000, 128_000_000, 1_280_000_000, 3_200_000_000)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AnalyticCacheModel(llc_bytes=0)
+        with pytest.raises(SimulationError):
+            AnalyticCacheModel(llc_bytes=100, usable_fraction=0.0)
+
+
+class TestEmbeddingAccessProfile:
+    @pytest.fixture()
+    def profile(self):
+        return EmbeddingAccessProfile(cpu=CPUConfig())
+
+    def test_miss_rate_grows_with_batch(self, profile):
+        rates = [profile.compute(DLRM4, batch).llc.miss_rate for batch in (1, 16, 128)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_miss_rate_grows_with_table_footprint(self, profile):
+        small = profile.compute(DLRM1, 64).llc.miss_rate
+        large = profile.compute(DLRM5, 64).llc.miss_rate
+        assert large > small
+
+    def test_miss_rate_in_papers_ballpark(self, profile):
+        # Figure 6(a) tops out around 45%; the model stays in that regime.
+        for batch in (1, 32, 128):
+            rate = profile.compute(DLRM4, batch).llc.miss_rate
+            assert 0.0 < rate < 0.6
+
+    def test_mpki_in_papers_ballpark(self, profile):
+        # Figure 6(b) tops out around 6.5 MPKI.
+        assert profile.compute(DLRM4, 128).mpki < 8.0
+        assert profile.compute(DLRM4, 128).mpki > 2.0
+        assert profile.compute(DLRM1, 1).mpki < 1.0
+
+    def test_useful_bytes_scale_with_batch(self, profile):
+        single = profile.compute(DLRM1, 1).useful_bytes
+        batch64 = profile.compute(DLRM1, 64).useful_bytes
+        assert batch64 == pytest.approx(64 * single)
+        assert single == DLRM1.embedding_bytes_per_sample()
+
+    def test_counters_consistent(self, profile):
+        stats = profile.compute(DLRM6, 32)
+        stats.llc.validate()
+        assert stats.instructions > 0
+
+    def test_rejects_bad_batch(self, profile):
+        with pytest.raises(SimulationError):
+            profile.compute(DLRM1, 0)
+
+
+class TestMLPAccessProfile:
+    @pytest.fixture()
+    def profile(self):
+        return MLPAccessProfile(cpu=CPUConfig())
+
+    def test_mlp_layers_are_cache_friendly(self, profile):
+        # The paper reports <20% LLC miss rates and sub-1 MPKI for MLP layers.
+        for model in (DLRM1, DLRM4, DLRM6):
+            for batch in (1, 32, 128):
+                stats = profile.compute(model, batch)
+                assert stats.llc.miss_rate < 0.20
+                assert stats.mpki < 2.0
+
+    def test_mlp_misses_far_fewer_than_embedding(self, profile):
+        embedding = EmbeddingAccessProfile(cpu=CPUConfig())
+        emb = embedding.compute(DLRM4, 64)
+        mlp = profile.compute(DLRM4, 64)
+        assert mlp.llc.misses < emb.llc.misses
+
+    def test_counters_consistent(self, profile):
+        profile.compute(DLRM6, 16).llc.validate()
+
+    def test_rejects_bad_batch(self, profile):
+        with pytest.raises(SimulationError):
+            profile.compute(DLRM1, -1)

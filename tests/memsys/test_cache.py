@@ -1,0 +1,156 @@
+"""Tests for the trace-driven set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memsys.cache import ReplacementPolicy, SetAssociativeCache
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = SetAssociativeCache(capacity_bytes=8192, line_bytes=64, ways=4)
+        assert cache.num_sets == 8192 // 64 // 4
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=100, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=64 * 6, line_bytes=64, ways=4)
+
+
+class TestBasicBehaviour:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        assert cache.access(10) is False
+        assert cache.access(10) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_contains_does_not_touch_stats(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        cache.access(1)
+        before = cache.stats.accesses
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert cache.stats.accesses == before
+
+    def test_occupancy_grows_until_capacity(self):
+        cache = SetAssociativeCache(capacity_bytes=64 * 8, line_bytes=64, ways=2)
+        for line in range(100):
+            cache.access(line)
+        assert cache.occupancy() == 8
+
+    def test_reset(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        cache.access(1)
+        cache.reset()
+        assert cache.occupancy() == 0
+        assert cache.stats.accesses == 0
+
+    def test_warm_installs_without_stats(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        cache.warm([1, 2, 3])
+        assert cache.stats.accesses == 0
+        assert cache.access(1) is True
+
+    def test_access_many_returns_delta_stats(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        cache.access(1)
+        stats = cache.access_many([1, 2, 2])
+        assert stats.accesses == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+
+
+class TestReplacement:
+    def test_lru_evicts_least_recently_used(self):
+        # Single set with 2 ways.
+        cache = SetAssociativeCache(capacity_bytes=128, line_bytes=64, ways=2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 1 becomes LRU
+        cache.access(2)  # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_fifo_evicts_oldest_inserted(self):
+        cache = SetAssociativeCache(
+            capacity_bytes=128, line_bytes=64, ways=2, policy=ReplacementPolicy.FIFO
+        )
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # hit does not refresh FIFO age
+        cache.access(2)  # evicts 0 (oldest insertion)
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_small_working_set_hits_after_warmup(self):
+        cache = SetAssociativeCache(capacity_bytes=64 * 64, line_bytes=64, ways=8)
+        lines = np.arange(32)
+        cache.access_many(lines)
+        stats = cache.access_many(lines)
+        assert stats.miss_rate == 0.0
+
+    def test_streaming_working_set_always_misses(self):
+        cache = SetAssociativeCache(capacity_bytes=64 * 16, line_bytes=64, ways=4)
+        stats = cache.access_many(range(1000))
+        assert stats.miss_rate == 1.0
+
+
+class TestEmbeddingGatherBehaviour:
+    """The cache-level phenomenon the paper builds on: huge tables defeat caching."""
+
+    def test_large_table_random_gathers_mostly_miss(self):
+        rng = np.random.default_rng(0)
+        cache = SetAssociativeCache(capacity_bytes=256 * 1024, line_bytes=64, ways=8)
+        # Table footprint 16 MB >> 256 KB cache.
+        lines = rng.integers(0, 16 * 1024 * 1024 // 64, size=20_000)
+        cache.access_many(lines[:10_000])  # warm up
+        stats = cache.access_many(lines[10_000:])
+        assert stats.miss_rate > 0.9
+
+    def test_small_table_random_gathers_mostly_hit(self):
+        rng = np.random.default_rng(0)
+        cache = SetAssociativeCache(capacity_bytes=1024 * 1024, line_bytes=64, ways=8)
+        # Table footprint 64 KB << 1 MB cache.
+        lines = rng.integers(0, 64 * 1024 // 64, size=5_000)
+        cache.access_many(lines[:2_000])
+        stats = cache.access_many(lines[2_000:])
+        assert stats.miss_rate < 0.05
+
+    def test_miss_rate_grows_with_table_size(self):
+        rng = np.random.default_rng(1)
+        cache_bytes = 128 * 1024
+        miss_rates = []
+        for table_bytes in (64 * 1024, 512 * 1024, 4 * 1024 * 1024):
+            cache = SetAssociativeCache(capacity_bytes=cache_bytes, line_bytes=64, ways=8)
+            lines = rng.integers(0, table_bytes // 64, size=8_000)
+            cache.access_many(lines[:4_000])
+            miss_rates.append(cache.access_many(lines[4_000:]).miss_rate)
+        assert miss_rates[0] < miss_rates[1] < miss_rates[2]
+
+
+class TestPropertyBased:
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+        ways=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_counters_always_consistent(self, lines, ways):
+        cache = SetAssociativeCache(capacity_bytes=64 * 16 * ways, line_bytes=64, ways=ways)
+        cache.access_many(lines)
+        cache.stats.validate()
+        assert cache.stats.accesses == len(lines)
+        assert cache.occupancy() <= 16 * ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_fully_resident_stream_second_pass_all_hits(self, lines):
+        cache = SetAssociativeCache(capacity_bytes=64 * 64, line_bytes=64, ways=64)
+        cache.access_many(lines)
+        assert cache.access_many(lines).miss_rate == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.hierarchy import CacheHierarchy
+
+
+def small_hierarchy():
+    l1 = SetAssociativeCache(capacity_bytes=64 * 8, line_bytes=64, ways=2, name="L1")
+    l2 = SetAssociativeCache(capacity_bytes=64 * 32, line_bytes=64, ways=4, name="L2")
+    llc = SetAssociativeCache(capacity_bytes=64 * 128, line_bytes=64, ways=8, name="LLC")
+    return CacheHierarchy([l1, l2, llc])
+
+
+class TestConstruction:
+    def test_levels_must_grow(self):
+        big = SetAssociativeCache(capacity_bytes=64 * 64, line_bytes=64, ways=4)
+        small = SetAssociativeCache(capacity_bytes=64 * 8, line_bytes=64, ways=2)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([big, small])
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([])
+
+    def test_broadwell_like_factory(self):
+        hierarchy = CacheHierarchy.broadwell_like()
+        assert len(hierarchy.levels) == 3
+        assert hierarchy.levels[0].capacity_bytes < hierarchy.levels[1].capacity_bytes
+        assert hierarchy.llc is hierarchy.levels[-1]
+
+
+class TestAccessBehaviour:
+    def test_first_access_misses_everywhere(self):
+        hierarchy = small_hierarchy()
+        result = hierarchy.access(1234)
+        assert result.served_by_memory
+        assert result.hit_level is None
+
+    def test_second_access_hits_l1(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(1234)
+        result = hierarchy.access(1234)
+        assert result.hit_level == 0
+        assert not result.served_by_memory
+
+    def test_l1_eviction_leaves_line_in_llc(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0)
+        # Stream enough lines to evict line 0 from the small L1 but not the LLC.
+        hierarchy.access_many(range(1, 17))
+        result = hierarchy.access(0)
+        assert result.hit_level is not None
+        assert result.hit_level >= 1
+
+    def test_llc_stats_accumulate(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_many(range(10))
+        stats = hierarchy.llc_stats()
+        assert stats.accesses == 10
+        assert stats.misses == 10
+
+    def test_llc_not_probed_on_l1_hit(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(5)
+        llc_accesses = hierarchy.llc.stats.accesses
+        hierarchy.access(5)  # L1 hit
+        assert hierarchy.llc.stats.accesses == llc_accesses
+
+    def test_reset_clears_all_levels(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access_many(range(20))
+        hierarchy.reset()
+        assert all(level.occupancy() == 0 for level in hierarchy.levels)
+        assert hierarchy.llc_stats().accesses == 0

@@ -1,0 +1,81 @@
+"""Tests for the MSHR file model."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memsys.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        mshr = MSHRFile(capacity=4)
+        mshr.allocate(100)
+        assert mshr.occupancy == 1
+        assert mshr.release(100) == 1
+        assert mshr.occupancy == 0
+
+    def test_secondary_miss_merges(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(7)
+        assert mshr.try_allocate(7)
+        assert mshr.occupancy == 1
+        assert mshr.merges == 1
+        assert mshr.release(7) == 2
+
+    def test_full_file_stalls(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(1)
+        mshr.allocate(2)
+        assert mshr.is_full
+        assert not mshr.try_allocate(3)
+        assert mshr.stalls == 1
+
+    def test_allocate_raises_when_full(self):
+        mshr = MSHRFile(capacity=1)
+        mshr.allocate(1)
+        with pytest.raises(CapacityError):
+            mshr.allocate(2)
+
+    def test_release_unknown_line_raises(self):
+        mshr = MSHRFile(capacity=1)
+        with pytest.raises(CapacityError):
+            mshr.release(5)
+
+    def test_peak_occupancy_tracked(self):
+        mshr = MSHRFile(capacity=4)
+        for line in range(4):
+            mshr.allocate(line)
+        for line in range(4):
+            mshr.release(line)
+        assert mshr.peak_occupancy == 4
+        assert mshr.occupancy == 0
+
+    def test_oldest_entry(self):
+        mshr = MSHRFile(capacity=4)
+        mshr.allocate(10, issue_time=2.0)
+        mshr.allocate(11, issue_time=1.0)
+        assert mshr.oldest() == 11
+        mshr.release(11)
+        assert mshr.oldest() == 10
+
+    def test_oldest_empty_is_none(self):
+        assert MSHRFile(capacity=2).oldest() is None
+
+    def test_outstanding_lines(self):
+        mshr = MSHRFile(capacity=4)
+        mshr.allocate(1)
+        mshr.allocate(2)
+        assert sorted(mshr.outstanding_lines()) == [1, 2]
+
+    def test_reset(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(1)
+        mshr.try_allocate(1)
+        mshr.reset()
+        assert mshr.occupancy == 0
+        assert mshr.allocations == 0
+        assert mshr.merges == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            MSHRFile(capacity=0)

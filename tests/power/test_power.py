@@ -1,0 +1,78 @@
+"""Tests for the power and energy models (Table IV / Figure 15b)."""
+
+import pytest
+
+from repro.config import DLRM1, HARPV2_SYSTEM
+from repro.config.system import PowerConfig
+from repro.core import CentaurRunner
+from repro.cpu import CPUOnlyRunner
+from repro.errors import ConfigurationError, SimulationError
+from repro.power import PowerModel, energy_efficiency_ratio, energy_of
+from repro.power.models import DESIGN_POINTS
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    return PowerModel(PowerConfig())
+
+
+class TestPowerModel:
+    def test_table4_values(self, power_model):
+        table = power_model.table4()
+        assert table["CPU-only"] == 80.0
+        assert table["CPU-GPU"] == 147.0
+        assert table["Centaur"] == 74.0
+
+    def test_centaur_draws_least_power(self, power_model):
+        values = power_model.table4()
+        assert values["Centaur"] < values["CPU-only"] < values["CPU-GPU"]
+
+    def test_unknown_design_point_rejected(self, power_model):
+        with pytest.raises(ConfigurationError):
+            power_model.power_watts("TPU")
+        with pytest.raises(ConfigurationError):
+            power_model.breakdown("TPU")
+
+    def test_breakdowns_sum_to_totals(self, power_model):
+        for design_point in DESIGN_POINTS:
+            breakdown = power_model.breakdown(design_point)
+            assert sum(breakdown.components.values()) == pytest.approx(
+                breakdown.total_watts
+            )
+
+    def test_centaur_cpu_cores_mostly_idle(self, power_model):
+        """The FPGA does the work, so the core share shrinks versus CPU-only."""
+        cpu_only = power_model.breakdown("CPU-only").components["cpu_cores"]
+        centaur = power_model.breakdown("Centaur").components["cpu_cores"]
+        assert centaur < cpu_only
+
+    def test_cpu_gpu_breakdown_includes_gpu(self, power_model):
+        assert power_model.breakdown("CPU-GPU").components["gpu"] == 56.0
+
+
+class TestEnergyAccounting:
+    def test_energy_of_result(self):
+        result = CPUOnlyRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+        report = energy_of(result)
+        assert report.energy_joules == pytest.approx(80.0 * result.latency_seconds)
+        assert report.energy_per_sample_joules == pytest.approx(report.energy_joules / 16)
+        assert report.design_point == "CPU-only"
+
+    def test_energy_requires_power(self):
+        result = CPUOnlyRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+        result.power_watts = 0.0
+        with pytest.raises(SimulationError):
+            energy_of(result)
+
+    def test_efficiency_ratio_matches_result_method(self):
+        cpu = CPUOnlyRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+        centaur = CentaurRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+        assert energy_efficiency_ratio(centaur, cpu) == pytest.approx(
+            centaur.energy_efficiency_over(cpu)
+        )
+
+    def test_efficiency_combines_speedup_and_power_ratio(self):
+        cpu = CPUOnlyRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+        centaur = CentaurRunner(HARPV2_SYSTEM).run(DLRM1, 16)
+        expected = centaur.speedup_over(cpu) * (80.0 / 74.0)
+        assert centaur.energy_efficiency_over(cpu) == pytest.approx(expected)

@@ -1,0 +1,85 @@
+"""Tests for the batching policies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serving.batching import FixedSizeBatching, TimeoutBatching
+from repro.serving.requests import InferenceRequest
+
+
+def arrivals(times):
+    return [InferenceRequest(request_id=i, arrival_time_s=t) for i, t in enumerate(times)]
+
+
+class TestFixedSizeBatching:
+    def test_full_batches_dispatch_on_last_arrival(self):
+        policy = FixedSizeBatching(batch_size=2)
+        batches = policy.form_batches(arrivals([1.0, 2.0, 3.0, 4.0]))
+        assert len(batches) == 2
+        assert batches[0][0] == 2.0 and len(batches[0][1]) == 2
+        assert batches[1][0] == 4.0 and len(batches[1][1]) == 2
+
+    def test_trailing_partial_batch_dispatches(self):
+        policy = FixedSizeBatching(batch_size=4)
+        batches = policy.form_batches(arrivals([1.0, 2.0, 3.0]))
+        assert len(batches) == 1
+        assert len(batches[0][1]) == 3
+
+    def test_max_wait_flushes_partial_batches(self):
+        policy = FixedSizeBatching(batch_size=10, max_wait_s=0.5)
+        batches = policy.form_batches(arrivals([0.0, 0.1, 5.0]))
+        # The first two requests flush at 0.5s; the third forms its own batch.
+        assert len(batches) == 2
+        assert batches[0][0] == pytest.approx(0.5)
+        assert len(batches[0][1]) == 2
+        assert len(batches[1][1]) == 1
+
+    def test_every_request_appears_exactly_once(self):
+        policy = FixedSizeBatching(batch_size=3, max_wait_s=1.0)
+        stream = arrivals([0.0, 0.2, 0.4, 3.0, 3.1, 9.0])
+        batches = policy.form_batches(stream)
+        ids = [r.request_id for _, batch in batches for r in batch]
+        assert sorted(ids) == list(range(len(stream)))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FixedSizeBatching(batch_size=0)
+        with pytest.raises(SimulationError):
+            FixedSizeBatching(batch_size=2, max_wait_s=0.0)
+
+
+class TestTimeoutBatching:
+    def test_window_groups_burst(self):
+        policy = TimeoutBatching(window_s=1.0, max_batch_size=8)
+        batches = policy.form_batches(arrivals([0.0, 0.2, 0.4, 5.0]))
+        assert len(batches) == 2
+        ready, first = batches[0]
+        assert ready == pytest.approx(1.0)
+        assert len(first) == 3
+        assert len(batches[1][1]) == 1
+
+    def test_max_batch_size_caps_bursts(self):
+        policy = TimeoutBatching(window_s=10.0, max_batch_size=2)
+        batches = policy.form_batches(arrivals([0.0, 0.1, 0.2, 0.3]))
+        assert [len(batch) for _, batch in batches] == [2, 2]
+        # A full batch dispatches as soon as it fills, not at the window end.
+        assert batches[0][0] == pytest.approx(0.1)
+
+    def test_every_request_appears_exactly_once(self):
+        policy = TimeoutBatching(window_s=0.3, max_batch_size=3)
+        stream = arrivals([0.0, 0.1, 0.25, 0.26, 1.0, 1.05, 2.0])
+        batches = policy.form_batches(stream)
+        ids = [r.request_id for _, batch in batches for r in batch]
+        assert sorted(ids) == list(range(len(stream)))
+
+    def test_ready_time_never_before_last_member_arrival(self):
+        policy = TimeoutBatching(window_s=0.5, max_batch_size=16)
+        stream = arrivals([0.0, 0.1, 0.45, 2.0, 2.2])
+        for ready, batch in policy.form_batches(stream):
+            assert ready >= max(r.arrival_time_s for r in batch) - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TimeoutBatching(window_s=0.0)
+        with pytest.raises(SimulationError):
+            TimeoutBatching(window_s=1.0, max_batch_size=0)

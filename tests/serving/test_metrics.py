@@ -1,0 +1,61 @@
+"""Tests for the serving metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serving.metrics import LatencyDistribution, ServingReport
+
+
+class TestLatencyDistribution:
+    def test_basic_statistics(self):
+        dist = LatencyDistribution([1e-3, 2e-3, 3e-3, 4e-3])
+        assert len(dist) == 4
+        assert dist.mean_s == pytest.approx(2.5e-3)
+        assert dist.max_s == pytest.approx(4e-3)
+        assert dist.p50_s == pytest.approx(2.5e-3)
+
+    def test_percentiles_monotone(self):
+        dist = LatencyDistribution([float(i) for i in range(1, 101)])
+        assert dist.p50_s <= dist.p95_s <= dist.p99_s <= dist.max_s
+
+    def test_sla_attainment(self):
+        dist = LatencyDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.sla_attainment(2.5) == pytest.approx(0.5)
+        assert dist.sla_attainment(10.0) == 1.0
+        with pytest.raises(SimulationError):
+            dist.sla_attainment(0.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            LatencyDistribution([])
+        with pytest.raises(SimulationError):
+            LatencyDistribution([1.0, -1.0])
+        with pytest.raises(SimulationError):
+            LatencyDistribution([1.0]).percentile(150.0)
+
+
+class TestServingReport:
+    def _report(self):
+        return ServingReport(
+            design_point="Centaur",
+            model_name="DLRM(1)",
+            offered_load_qps=1000.0,
+            completed_requests=100,
+            makespan_s=0.2,
+            latency=LatencyDistribution([1e-3] * 100),
+            queueing=LatencyDistribution([5e-4] * 100),
+            average_batch_size=10.0,
+            device_busy_s=0.1,
+            energy_joules=7.4,
+        )
+
+    def test_derived_metrics(self):
+        report = self._report()
+        assert report.achieved_qps == pytest.approx(500.0)
+        assert report.device_utilization == pytest.approx(0.5)
+        assert report.energy_per_request_joules == pytest.approx(0.074)
+
+    def test_summary_row_keys(self):
+        row = self._report().summary_row()
+        for key in ("achieved_qps", "p99_ms", "utilization", "energy_per_request_mj"):
+            assert key in row

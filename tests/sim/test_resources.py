@@ -1,0 +1,79 @@
+"""Tests for the simulation resources (bandwidth pipes and credit pools)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import BandwidthResource, TokenPool
+
+
+class TestBandwidthResource:
+    def test_idle_transfer_starts_immediately(self):
+        pipe = BandwidthResource(1e9)
+        completion = pipe.request(now=0.0, num_bytes=1e6)
+        assert completion == pytest.approx(1e-3)
+
+    def test_back_to_back_transfers_serialize(self):
+        pipe = BandwidthResource(1e9)
+        first = pipe.request(0.0, 1e6)
+        second = pipe.request(0.0, 1e6)
+        assert second == pytest.approx(first + 1e-3)
+
+    def test_gap_between_transfers_is_idle(self):
+        pipe = BandwidthResource(1e9)
+        pipe.request(0.0, 1e6)
+        completion = pipe.request(10.0, 1e6)
+        assert completion == pytest.approx(10.0 + 1e-3)
+
+    def test_utilization(self):
+        pipe = BandwidthResource(1e9)
+        pipe.request(0.0, 1e6)
+        assert pipe.utilization(elapsed=2e-3) == pytest.approx(0.5)
+        assert pipe.utilization(elapsed=0.0) == 0.0
+
+    def test_counters(self):
+        pipe = BandwidthResource(1e9)
+        pipe.request(0.0, 100)
+        pipe.request(0.0, 200)
+        assert pipe.bytes_transferred == 300
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BandwidthResource(0)
+        with pytest.raises(SimulationError):
+            BandwidthResource(1e9).request(0.0, -1)
+
+
+class TestTokenPool:
+    def test_acquire_and_release(self):
+        pool = TokenPool(2)
+        assert pool.try_acquire()
+        assert pool.try_acquire()
+        assert pool.in_use == 2
+        assert not pool.try_acquire()
+        pool.release()
+        assert pool.try_acquire()
+
+    def test_blocked_counter(self):
+        pool = TokenPool(1)
+        pool.try_acquire()
+        pool.try_acquire()
+        pool.try_acquire()
+        assert pool.blocked == 2
+
+    def test_over_release_rejected(self):
+        pool = TokenPool(1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_bulk_acquire(self):
+        pool = TokenPool(4)
+        assert pool.try_acquire(3)
+        assert not pool.try_acquire(2)
+        pool.release(3)
+        assert pool.available == 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TokenPool(0)
+        with pytest.raises(SimulationError):
+            TokenPool(2).try_acquire(0)

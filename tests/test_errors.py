@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ModelShapeError,
+    ReproError,
+    ResourceEstimationError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ConfigurationError,
+            ModelShapeError,
+            TraceError,
+            SimulationError,
+            CapacityError,
+            ResourceEstimationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        with pytest.raises(ReproError):
+            raise exception_type("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_categories_are_distinct(self):
+        assert not issubclass(ConfigurationError, SimulationError)
+        assert not issubclass(SimulationError, ConfigurationError)
+
+    def test_library_raises_repro_errors_for_bad_config(self):
+        from repro.config.models import EmbeddingTableConfig
+
+        with pytest.raises(ReproError):
+            EmbeddingTableConfig(num_rows=-1)

@@ -1,0 +1,95 @@
+"""Tests for the shared result containers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsys.stats import CacheStats, MemoryTrafficStats
+from repro.results import InferenceResult, LatencyBreakdown
+
+
+def make_result(design="CPU-only", model="DLRM(1)", batch=4, stages=None, power=80.0):
+    breakdown = LatencyBreakdown(stages or {"EMB": 3e-4, "MLP": 1e-4, "Other": 1e-5})
+    return InferenceResult(
+        design_point=design,
+        model_name=model,
+        batch_size=batch,
+        breakdown=breakdown,
+        embedding_traffic=MemoryTrafficStats(useful_bytes=1e6, llc=CacheStats()),
+        power_watts=power,
+    )
+
+
+class TestLatencyBreakdown:
+    def test_add_accumulates(self):
+        breakdown = LatencyBreakdown()
+        breakdown.add("EMB", 1e-3)
+        breakdown.add("EMB", 2e-3)
+        assert breakdown.get("EMB") == pytest.approx(3e-3)
+
+    def test_total_and_fractions(self):
+        breakdown = LatencyBreakdown({"A": 3.0, "B": 1.0})
+        assert breakdown.total_seconds == pytest.approx(4.0)
+        assert breakdown.fraction("A") == pytest.approx(0.75)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_missing_stage_is_zero(self):
+        assert LatencyBreakdown().get("EMB") == 0.0
+        assert LatencyBreakdown().fraction("EMB") == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyBreakdown({"EMB": -1.0})
+
+    def test_scaled(self):
+        breakdown = LatencyBreakdown({"A": 2.0}).scaled(0.5)
+        assert breakdown.get("A") == pytest.approx(1.0)
+        with pytest.raises(SimulationError):
+            LatencyBreakdown({"A": 2.0}).scaled(-1.0)
+
+    def test_stages_returns_copy(self):
+        breakdown = LatencyBreakdown({"A": 1.0})
+        stages = breakdown.stages
+        stages["A"] = 99.0
+        assert breakdown.get("A") == 1.0
+
+
+class TestInferenceResult:
+    def test_latency_and_throughput(self):
+        result = make_result()
+        assert result.latency_seconds == pytest.approx(4.1e-4)
+        assert result.throughput_samples_per_second == pytest.approx(4 / 4.1e-4)
+
+    def test_energy(self):
+        result = make_result(power=100.0)
+        assert result.energy_joules == pytest.approx(100.0 * 4.1e-4)
+        assert result.energy_per_sample_joules == pytest.approx(result.energy_joules / 4)
+
+    def test_effective_embedding_throughput(self):
+        result = make_result(stages={"EMB": 1e-3, "MLP": 1e-3})
+        assert result.effective_embedding_throughput == pytest.approx(1e6 / 1e-3)
+
+    def test_effective_throughput_without_traffic_is_zero(self):
+        result = make_result()
+        result.embedding_traffic = None
+        assert result.effective_embedding_throughput == 0.0
+
+    def test_speedup_and_efficiency(self):
+        slow = make_result(stages={"EMB": 4e-4}, power=80.0)
+        fast = make_result(design="Centaur", stages={"EMB": 1e-4}, power=74.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        assert fast.energy_efficiency_over(slow) == pytest.approx(4.0 * 80.0 / 74.0)
+
+    def test_comparisons_require_matching_workload(self):
+        lhs = make_result(model="DLRM(1)")
+        rhs = make_result(model="DLRM(2)")
+        with pytest.raises(SimulationError):
+            lhs.speedup_over(rhs)
+        rhs = make_result(batch=8)
+        with pytest.raises(SimulationError):
+            lhs.energy_efficiency_over(rhs)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            make_result(batch=0)
+        with pytest.raises(SimulationError):
+            make_result(power=-1.0)

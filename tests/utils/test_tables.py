@@ -1,0 +1,62 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_series
+
+
+class TestTextTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_row_length_validation(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_render_contains_title_and_cells(self):
+        table = TextTable(["model", "speedup"], title="Figure 14")
+        table.add_row(["DLRM(1)", 9.3])
+        rendered = table.render()
+        assert "Figure 14" in rendered
+        assert "DLRM(1)" in rendered
+        assert "9.30" in rendered
+
+    def test_add_rows_bulk(self):
+        table = TextTable(["x"])
+        table.add_rows([[1], [2], [3]])
+        assert table.num_rows == 3
+
+    def test_bool_formatting(self):
+        table = TextTable(["feature", "supported"])
+        table.add_row(["gathers", True])
+        table.add_row(["small vectors", False])
+        rendered = table.render()
+        assert "yes" in rendered and "no" in rendered
+
+    def test_large_and_small_float_formatting(self):
+        table = TextTable(["value"])
+        table.add_row([12345.678])
+        table.add_row([0.00123])
+        rendered = table.render()
+        assert "12,345.7" in rendered
+        assert "0.0012" in rendered
+
+    def test_columns_align(self):
+        table = TextTable(["a", "b"])
+        table.add_row(["looooooooong", 1])
+        table.add_row(["x", 22])
+        lines = table.render().splitlines()
+        header_width = len(lines[1])
+        assert all(len(line) == header_width for line in lines[1:])
+
+
+class TestFormatSeries:
+    def test_renders_key_value_pairs(self):
+        series = {1: 0.5, 4: 1.25}
+        rendered = format_series(series)
+        assert rendered == "1=0.50  4=1.25"
+
+    def test_custom_format(self):
+        assert format_series({"a": 3.14159}, "{:.1f}") == "a=3.1"

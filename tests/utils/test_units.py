@@ -1,0 +1,80 @@
+"""Tests for unit constants and conversion helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    bytes_to_human,
+    gbps,
+    microseconds,
+    milliseconds,
+    nanoseconds,
+    seconds_to_human,
+)
+
+
+class TestUnitConstants:
+    def test_binary_units_are_powers_of_two(self):
+        assert KIB == 2 ** 10
+        assert MIB == 2 ** 20
+        assert GIB == 2 ** 30
+
+    def test_decimal_units_are_powers_of_ten(self):
+        assert KB == 10 ** 3
+        assert MB == 10 ** 6
+        assert GB == 10 ** 9
+
+    def test_binary_units_exceed_decimal_units(self):
+        assert KIB > KB and MIB > MB and GIB > GB
+
+
+class TestConversions:
+    def test_gbps(self):
+        assert gbps(77.0) == pytest.approx(77e9)
+
+    def test_time_helpers(self):
+        assert nanoseconds(80) == pytest.approx(80e-9)
+        assert microseconds(5) == pytest.approx(5e-6)
+        assert milliseconds(3) == pytest.approx(3e-3)
+
+
+class TestBytesToHuman:
+    def test_small_values_stay_in_bytes(self):
+        assert bytes_to_human(512) == "512 B"
+
+    def test_decimal_rendering_matches_paper_style(self):
+        assert bytes_to_human(128_000_000) == "128.00 MB"
+        assert bytes_to_human(1_280_000_000) == "1.28 GB"
+
+    def test_binary_rendering(self):
+        assert bytes_to_human(35 * MIB, decimal=False) == "35.00 MiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_human(-1)
+
+
+class TestSecondsToHuman:
+    def test_zero(self):
+        assert seconds_to_human(0) == "0 s"
+
+    def test_nanoseconds_range(self):
+        assert seconds_to_human(80e-9).endswith("ns")
+
+    def test_microseconds_range(self):
+        assert seconds_to_human(5e-6).endswith("us")
+
+    def test_milliseconds_range(self):
+        assert seconds_to_human(3.3e-3).endswith("ms")
+
+    def test_seconds_range(self):
+        assert seconds_to_human(2.0).endswith("s")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_human(-0.1)
