@@ -19,8 +19,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import CentaurRunner, CPUGPURunner, CPUOnlyRunner
+from repro.analysis import render_serving_comparison
 from repro.config import DLRM2, DLRM4, HARPV2_SYSTEM
 from repro.config.models import DLRMConfig
+from repro.serving import (
+    ClusterSimulator,
+    LeastLoadedDispatcher,
+    TimeoutBatching,
+)
 from repro.utils import TextTable
 
 #: Latency SLA for one ranking request batch (a typical user-facing budget).
@@ -121,9 +127,51 @@ def provision(model: DLRMConfig) -> None:
         )
 
 
+def validate_with_simulation(model: DLRMConfig) -> None:
+    """Close the loop: simulate the provisioned fleets under the target load.
+
+    Static provisioning divides throughputs; the event-driven cluster
+    simulator then checks what tail latency those node counts actually
+    deliver when the load arrives as a Poisson stream and a least-loaded
+    dispatcher spreads it.
+    """
+    batching = TimeoutBatching(window_s=1e-3, max_batch_size=64)
+    reports = {}
+    for runner_factory in (CPUOnlyRunner, CentaurRunner):
+        runner = runner_factory(HARPV2_SYSTEM)
+        point = best_operating_point(runner, model, SLA_SECONDS)
+        if point.nodes_for_target is None:
+            continue
+        cluster = ClusterSimulator(
+            runner,
+            model,
+            num_replicas=point.nodes_for_target,
+            batching=batching,
+            dispatcher=LeastLoadedDispatcher(),
+        )
+        label = f"{point.design_point} x{point.nodes_for_target}"
+        reports[label] = cluster.serve_poisson(
+            rate_qps=TARGET_QPS, duration_s=0.1, seed=42
+        )
+    if not reports:
+        return
+    print(
+        render_serving_comparison(
+            reports,
+            sla_s=SLA_SECONDS,
+            title=(
+                f"Simulated check: provisioned fleets serving {TARGET_QPS:,.0f} QPS "
+                "(least-loaded dispatch)"
+            ),
+        )
+    )
+    print()
+
+
 def main() -> None:
     for model in (DLRM2, DLRM4):
         provision(model)
+        validate_with_simulation(model)
 
 
 if __name__ == "__main__":

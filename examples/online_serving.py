@@ -13,8 +13,20 @@ Run with:  python examples/online_serving.py
 from __future__ import annotations
 
 from repro import CentaurRunner, CPUGPURunner, CPUOnlyRunner
+from repro.analysis import render_serving_comparison
 from repro.config import DLRM2, HARPV2_SYSTEM
-from repro.serving import ServingSimulator, TimeoutBatching
+from repro.serving import (
+    AdaptiveWindowBatching,
+    CloseOnFullBatching,
+    HeterogeneousCluster,
+    JoinShortestQueueDispatcher,
+    LeastLoadedDispatcher,
+    PowerOfTwoChoicesDispatcher,
+    ReplicaSpec,
+    RoundRobinDispatcher,
+    ServingSimulator,
+    TimeoutBatching,
+)
 from repro.utils import TextTable
 
 #: Arrival rates to sweep (queries per second).
@@ -73,7 +85,76 @@ def main() -> None:
         "At light load every design point meets the SLA; as the load approaches"
         "\nthe CPU's saturation throughput its queue explodes while Centaur keeps"
         "\nits tail latency flat - the serving-level consequence of the per-batch"
-        "\nspeedups in Figure 14."
+        "\nspeedups in Figure 14.\n"
+    )
+
+    compare_batching_policies(model)
+    compare_dispatchers(model)
+
+
+def compare_batching_policies(model) -> None:
+    """Queue-reactive batching policies on a single Centaur device."""
+    policies = {
+        "timeout 1ms": BATCHING,
+        "close-on-full (greedy)": CloseOnFullBatching(batch_size=64),
+        "adaptive window": AdaptiveWindowBatching(base_window_s=2e-3, max_batch_size=64),
+    }
+    reports = {}
+    for label, policy in policies.items():
+        simulator = ServingSimulator(CentaurRunner(HARPV2_SYSTEM), model, batching=policy)
+        reports[label] = simulator.serve_poisson(
+            rate_qps=30_000, duration_s=DURATION_S, seed=42
+        )
+    print(
+        render_serving_comparison(
+            reports,
+            sla_s=SLA_S,
+            title="Batching policies on one Centaur device at 30,000 QPS",
+        )
+    )
+    print(
+        "The greedy policy dispatches eagerly whenever the device idles, so it"
+        "\ntrades average batch size for latency; the adaptive window shrinks"
+        "\nunder bursts and sits between the fixed window and the greedy policy.\n"
+    )
+
+
+def compare_dispatchers(model) -> None:
+    """A heterogeneous fleet (2 CPU sockets + 1 Centaur) under four dispatchers."""
+    load = 120_000
+    dispatchers = (
+        RoundRobinDispatcher(),
+        PowerOfTwoChoicesDispatcher(seed=7),
+        JoinShortestQueueDispatcher(),
+        LeastLoadedDispatcher(),
+    )
+    reports = {}
+    for dispatcher in dispatchers:
+        fleet = HeterogeneousCluster(
+            [
+                ReplicaSpec(CPUOnlyRunner(HARPV2_SYSTEM)),
+                ReplicaSpec(CPUOnlyRunner(HARPV2_SYSTEM)),
+                ReplicaSpec(CentaurRunner(HARPV2_SYSTEM)),
+            ],
+            model,
+            dispatcher=dispatcher,
+            batching=BATCHING,
+        )
+        reports[dispatcher.name] = fleet.serve_poisson(
+            rate_qps=load, duration_s=DURATION_S, seed=42
+        )
+    print(
+        render_serving_comparison(
+            reports,
+            sla_s=SLA_S,
+            title=f"Dispatch policies over 2x CPU + 1x Centaur at {load:,} QPS",
+        )
+    )
+    print(
+        "Blind round-robin sends a third of the load to each socket and the CPU"
+        "\nqueues dominate the tail; queue-aware dispatch (JSQ, least-loaded)"
+        "\nroutes around the slow sockets, and two random choices already recover"
+        "\nmost of that benefit."
     )
 
 

@@ -80,9 +80,20 @@ from repro.core import (
 )
 from repro.power import PowerModel
 from repro.serving import (
+    AdaptiveWindowBatching,
+    CloseOnFullBatching,
+    ClusterReport,
+    ClusterSimulator,
     FixedSizeBatching,
+    HeterogeneousCluster,
+    JoinShortestQueueDispatcher,
+    LeastLoadedDispatcher,
     PoissonRequestGenerator,
+    PowerOfTwoChoicesDispatcher,
+    ReplicaSpec,
+    RoundRobinDispatcher,
     ServingSimulator,
+    SizeBucketedBatching,
     TimeoutBatching,
 )
 from repro.analysis import DesignPointSweep, headline_summary
@@ -141,9 +152,20 @@ __all__ = [
     "FPGAResourceModel",
     "PowerModel",
     "FixedSizeBatching",
+    "TimeoutBatching",
+    "CloseOnFullBatching",
+    "AdaptiveWindowBatching",
+    "SizeBucketedBatching",
     "PoissonRequestGenerator",
     "ServingSimulator",
-    "TimeoutBatching",
+    "ClusterSimulator",
+    "ClusterReport",
+    "HeterogeneousCluster",
+    "ReplicaSpec",
+    "RoundRobinDispatcher",
+    "JoinShortestQueueDispatcher",
+    "LeastLoadedDispatcher",
+    "PowerOfTwoChoicesDispatcher",
     "DesignPointSweep",
     "headline_summary",
 ]

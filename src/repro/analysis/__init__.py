@@ -50,6 +50,7 @@ from repro.analysis.report import (
     render_figure15,
     render_ablation,
     render_headline,
+    render_serving_comparison,
     render_table1,
     render_table2,
     render_table3,
@@ -94,6 +95,7 @@ __all__ = [
     "render_figure15",
     "render_ablation",
     "render_headline",
+    "render_serving_comparison",
     "render_table1",
     "render_table2",
     "render_table3",

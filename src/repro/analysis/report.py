@@ -7,7 +7,7 @@ the paper reports.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.analysis.characterization import Figure5Row, Figure6Row, Figure7Point
 from repro.analysis.evaluation import AblationPoint, Figure13Row, Figure14Row, Figure15Row
@@ -295,3 +295,47 @@ def render_headline(summary: dict) -> List[str]:
             f"(paper: ~1.1x / ~1.9x)"
         ),
     ]
+
+
+def render_serving_comparison(
+    reports: Mapping[str, object],
+    sla_s: float,
+    title: str = "Online serving comparison",
+) -> str:
+    """Render serving outcomes (single-device or cluster) side by side.
+
+    Args:
+        reports: Row label -> :class:`~repro.serving.metrics.ServingReport`
+            or :class:`~repro.serving.cluster.ClusterReport`.
+        sla_s: Latency budget used for the SLA-attainment column.
+        title: Table title.
+    """
+    table = TextTable(
+        [
+            "configuration",
+            "requests",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            f"SLA<{sla_s * 1e3:.0f}ms %",
+            "energy/req (mJ)",
+            "util %",
+        ],
+        title=title,
+    )
+    for label, report in reports.items():
+        latency = report.latency
+        p50, p95, p99 = latency.percentiles((50.0, 95.0, 99.0))
+        table.add_row(
+            [
+                label,
+                report.completed_requests,
+                p50 * 1e3,
+                p95 * 1e3,
+                p99 * 1e3,
+                100.0 * latency.sla_attainment(sla_s),
+                report.energy_per_request_joules * 1e3,
+                100.0 * report.device_utilization,
+            ]
+        )
+    return table.render()

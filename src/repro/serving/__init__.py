@@ -1,28 +1,68 @@
 """Online-serving simulation substrate (beyond-paper extension).
 
 The paper motivates Centaur with user-facing recommendation services that
-must meet firm SLA targets under bursty load.  This package closes the loop:
-it feeds Poisson request arrivals through a batching policy and a
-single-device queue whose service times come from the calibrated design-point
-runners, and reports the throughput/tail-latency trade-off of CPU-only,
-CPU-GPU and Centaur under identical load.
+must meet firm SLA targets under bursty load.  This package closes the loop
+with an event-driven serving core built on :mod:`repro.sim.engine`: request
+arrivals, batch-close timers, device busy/free transitions and completions
+are all scheduled events.  On top of the core sit queue-reactive batching
+policies, pluggable dispatchers (round-robin, join-shortest-queue,
+least-loaded, power-of-two-choices) and heterogeneous fleets mixing
+CPU-only, CPU-GPU and Centaur replicas — reporting the throughput /
+tail-latency trade-off under identical load.
 """
 
 from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
-from repro.serving.batching import BatchingPolicy, FixedSizeBatching, TimeoutBatching
-from repro.serving.metrics import LatencyDistribution, ServingReport
+from repro.serving.batching import (
+    AdaptiveWindowBatching,
+    BatchingPolicy,
+    BatchSignal,
+    CloseOnFullBatching,
+    FixedSizeBatching,
+    SizeBucketedBatching,
+    TimeoutBatching,
+)
+from repro.serving.metrics import ExecutedBatch, LatencyDistribution, ServingReport
+from repro.serving.replica import ReplicaServer, ServiceModel
 from repro.serving.simulator import ServingSimulator
-from repro.serving.cluster import ClusterReport, ClusterSimulator
+from repro.serving.legacy import LegacyServingSimulator
+from repro.serving.dispatch import (
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    LeastLoadedDispatcher,
+    PowerOfTwoChoicesDispatcher,
+    RoundRobinDispatcher,
+)
+from repro.serving.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    HeterogeneousCluster,
+    ReplicaSpec,
+)
 
 __all__ = [
     "InferenceRequest",
     "PoissonRequestGenerator",
     "BatchingPolicy",
+    "BatchSignal",
     "FixedSizeBatching",
     "TimeoutBatching",
+    "CloseOnFullBatching",
+    "AdaptiveWindowBatching",
+    "SizeBucketedBatching",
+    "ExecutedBatch",
     "LatencyDistribution",
     "ServingReport",
+    "ReplicaServer",
+    "ServiceModel",
     "ServingSimulator",
+    "LegacyServingSimulator",
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "JoinShortestQueueDispatcher",
+    "LeastLoadedDispatcher",
+    "PowerOfTwoChoicesDispatcher",
     "ClusterReport",
     "ClusterSimulator",
+    "HeterogeneousCluster",
+    "ReplicaSpec",
 ]

@@ -3,8 +3,17 @@
 Capacity planning (examples/datacenter_provisioning.py) asks "how many
 sockets do I need for a target load?".  This module answers the follow-up
 question — what the tail latency actually looks like when that many replicas
-share the load — by splitting one arrival stream across ``num_replicas``
-single-device simulators with a join-the-least-loaded dispatcher.
+share the load.  The fleet lives on one shared event simulator: every
+arrival is an event, the dispatcher picks a replica with live visibility
+into queue depths, and each replica batches and executes independently.
+
+Two front-ends share the same core:
+
+* :class:`ClusterSimulator` — ``num_replicas`` identical devices behind a
+  dispatcher (round-robin by default, matching the legacy behaviour).
+* :class:`HeterogeneousCluster` — an arbitrary mix of CPU-only / CPU-GPU /
+  Centaur replicas, each with its own batching policy, behind any
+  :class:`~repro.serving.dispatch.Dispatcher`.
 """
 
 from __future__ import annotations
@@ -14,10 +23,26 @@ from typing import List, Optional, Sequence
 
 from repro.config.models import DLRMConfig
 from repro.errors import SimulationError
-from repro.serving.batching import BatchingPolicy
+from repro.serving.batching import BatchingPolicy, default_batching
+from repro.serving.dispatch import Dispatcher, RoundRobinDispatcher
 from repro.serving.metrics import LatencyDistribution, ServingReport
+from repro.serving.replica import DesignPointRunner, ReplicaServer, ServiceModel, drive_stream
 from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
-from repro.serving.simulator import DesignPointRunner, ServingSimulator
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica in a (possibly heterogeneous) fleet.
+
+    Attributes:
+        runner: Design-point runner backing the replica's device.
+        batching: Replica-local batching policy; ``None`` inherits the
+            cluster default.
+    """
+
+    runner: DesignPointRunner
+    batching: Optional[BatchingPolicy] = None
 
 
 @dataclass(frozen=True)
@@ -29,6 +54,7 @@ class ClusterReport:
     num_replicas: int
     per_replica: List[ServingReport]
     latency: LatencyDistribution
+    dispatcher: str = "round-robin"
 
     @property
     def completed_requests(self) -> int:
@@ -50,67 +76,113 @@ class ClusterReport:
             self.per_replica
         )
 
+    @property
+    def device_utilization(self) -> float:
+        """Alias so cluster and single-device reports render uniformly."""
+        return self.mean_utilization
 
-class ClusterSimulator:
-    """Round-robin/least-loaded dispatch of one request stream over replicas.
+
+class HeterogeneousCluster:
+    """A mixed fleet of serving replicas behind a pluggable dispatcher.
 
     Args:
-        runner: Design-point runner shared by every replica (they are
-            identical devices).
+        specs: One :class:`ReplicaSpec` (or bare runner) per replica.
         model: Served DLRM configuration.
-        num_replicas: Number of devices behind the load balancer.
-        batching: Per-replica batching policy (shared configuration).
+        dispatcher: Routing policy; defaults to round-robin.
+        batching: Default batching policy for specs that do not set one;
+            defaults to a 2 ms window capped at 64.
     """
 
     def __init__(
         self,
-        runner: DesignPointRunner,
+        specs: Sequence,
         model: DLRMConfig,
-        num_replicas: int,
+        dispatcher: Optional[Dispatcher] = None,
         batching: Optional[BatchingPolicy] = None,
     ):
-        if num_replicas <= 0:
-            raise SimulationError(f"num_replicas must be positive, got {num_replicas}")
-        self.runner = runner
+        if not specs:
+            raise SimulationError("a cluster needs at least one replica")
+        fallback = batching if batching is not None else default_batching()
+        self.specs: List[ReplicaSpec] = []
+        for spec in specs:
+            if not isinstance(spec, ReplicaSpec):
+                spec = ReplicaSpec(runner=spec)
+            if spec.batching is None:
+                spec = ReplicaSpec(runner=spec.runner, batching=fallback)
+            self.specs.append(spec)
         self.model = model
-        self.num_replicas = num_replicas
-        self.batching = batching
-        self._simulators = [
-            ServingSimulator(runner, model, batching=batching) for _ in range(num_replicas)
-        ]
+        self.dispatcher = dispatcher if dispatcher is not None else RoundRobinDispatcher()
+        # One prediction cache per runner instance, shared across streams.
+        self._caches = {}
+        for spec in self.specs:
+            self._caches.setdefault(id(spec.runner), {})
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.specs)
+
+    @property
+    def design_point(self) -> str:
+        """The fleet's design-point mix, e.g. ``"CPU-only+Centaur"``."""
+        seen: List[str] = []
+        for spec in self.specs:
+            if spec.runner.design_point not in seen:
+                seen.append(spec.runner.design_point)
+        return "+".join(seen)
 
     # ------------------------------------------------------------------
-    def _dispatch(self, requests: Sequence[InferenceRequest]) -> List[List[InferenceRequest]]:
-        """Assign requests to replicas, balancing the outstanding count."""
-        ordered = sorted(requests, key=lambda request: request.arrival_time_s)
-        queues: List[List[InferenceRequest]] = [[] for _ in range(self.num_replicas)]
-        for index, request in enumerate(ordered):
-            # Join-shortest-queue approximated by round-robin over a sorted
-            # stream: deterministic and nearly balanced for Poisson arrivals.
-            queues[index % self.num_replicas].append(request)
-        return queues
+    def _build_replicas(self, sim: Simulator) -> List[ReplicaServer]:
+        replicas = []
+        for index, spec in enumerate(self.specs):
+            service = ServiceModel(
+                spec.runner, self.model, self._caches[id(spec.runner)]
+            )
+            replicas.append(
+                ReplicaServer(
+                    sim,
+                    service,
+                    spec.batching,
+                    name=f"{spec.runner.design_point}:{index}",
+                )
+            )
+        return replicas
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ClusterReport:
-        """Serve a request stream across all replicas."""
+        """Serve a request stream across the fleet."""
         if not requests:
             raise SimulationError("cannot serve an empty request stream")
-        queues = self._dispatch(requests)
+        sim = Simulator()
+        replicas = self._build_replicas(sim)
+        self.dispatcher.reset()
+
+        def route(request):
+            index = self.dispatcher.select(replicas, request, sim.now)
+            if not 0 <= index < len(replicas):
+                raise SimulationError(
+                    f"{self.dispatcher.name} selected invalid replica {index} "
+                    f"of {len(replicas)}"
+                )
+            return replicas[index]
+
+        drive_stream(sim, replicas, requests, route)
+
         reports: List[ServingReport] = []
         latencies: List[float] = []
-        for simulator, queue in zip(self._simulators, queues):
-            if not queue:
+        for replica in replicas:
+            if not replica.arrivals:
                 continue
-            report = simulator.serve(queue)
+            report = replica.build_report(self.model.name)
             reports.append(report)
             latencies.extend(report.latency.samples_s.tolist())
         if not reports:
             raise SimulationError("no replica received any requests")
         return ClusterReport(
-            design_point=self.runner.design_point,
+            design_point=self.design_point,
             model_name=self.model.name,
             num_replicas=self.num_replicas,
             per_replica=reports,
             latency=LatencyDistribution(latencies),
+            dispatcher=self.dispatcher.name,
         )
 
     def serve_poisson(
@@ -124,3 +196,36 @@ class ClusterSimulator:
                 f"no requests arrived in {duration_s}s at {rate_qps} QPS"
             )
         return self.serve(requests)
+
+
+class ClusterSimulator(HeterogeneousCluster):
+    """``num_replicas`` identical devices behind a dispatcher.
+
+    Args:
+        runner: Design-point runner shared by every replica (they are
+            identical devices).
+        model: Served DLRM configuration.
+        num_replicas: Number of devices behind the load balancer.
+        batching: Per-replica batching policy (shared configuration).
+        dispatcher: Routing policy; defaults to round-robin (the legacy
+            behaviour).
+    """
+
+    def __init__(
+        self,
+        runner: DesignPointRunner,
+        model: DLRMConfig,
+        num_replicas: int,
+        batching: Optional[BatchingPolicy] = None,
+        dispatcher: Optional[Dispatcher] = None,
+    ):
+        if num_replicas <= 0:
+            raise SimulationError(f"num_replicas must be positive, got {num_replicas}")
+        super().__init__(
+            [ReplicaSpec(runner=runner) for _ in range(num_replicas)],
+            model,
+            dispatcher=dispatcher,
+            batching=batching,
+        )
+        self.runner = runner
+        self.batching = batching

@@ -1,0 +1,107 @@
+"""Pluggable request dispatchers for multi-replica serving.
+
+A dispatcher picks the replica each request joins, *at arrival time*, with
+full visibility into live replica state (queue depths, device speed,
+predicted backlog).  All dispatchers are deterministic given their
+constructor arguments: :class:`PowerOfTwoChoicesDispatcher` derives its
+randomness from a seed and is reset before every stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.serving.replica import ReplicaServer
+
+
+class Dispatcher:
+    """Interface: route one request to one replica."""
+
+    #: Human-readable policy name used in reports.
+    name = "dispatcher"
+
+    def reset(self) -> None:
+        """Clear per-stream state; called once before each request stream."""
+
+    def select(
+        self, replicas: Sequence[ReplicaServer], request, now: float
+    ) -> int:
+        """Index of the replica the request should join."""
+        raise NotImplementedError
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Cycle through replicas in arrival order (the legacy cluster policy)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select(self, replicas, request, now):
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class JoinShortestQueueDispatcher(Dispatcher):
+    """Join the replica with the fewest outstanding requests (ties: lowest index)."""
+
+    name = "join-shortest-queue"
+
+    def select(self, replicas, request, now):
+        return min(range(len(replicas)), key=lambda i: (replicas[i].outstanding, i))
+
+
+class LeastLoadedDispatcher(Dispatcher):
+    """Join the replica with the smallest predicted time-to-drain.
+
+    Unlike JSQ this weights queue depth by device speed, so a Centaur
+    replica with a deeper queue can still win over an idle-but-slow CPU
+    replica in a heterogeneous fleet.
+    """
+
+    name = "least-loaded"
+
+    def select(self, replicas, request, now):
+        return min(
+            range(len(replicas)),
+            key=lambda i: (replicas[i].estimated_backlog_s(now), i),
+        )
+
+
+class PowerOfTwoChoicesDispatcher(Dispatcher):
+    """Sample two distinct replicas uniformly, join the shorter queue.
+
+    The classic load-balancing result: two random choices capture most of
+    JSQ's benefit while probing only two queues.  Deterministic given the
+    seed; degenerates to the single replica when only one exists.
+    """
+
+    name = "power-of-two-choices"
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise SimulationError(f"seed must be non-negative, got {seed}")
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def select(self, replicas, request, now):
+        if len(replicas) == 1:
+            return 0
+        first, second = self._rng.choice(len(replicas), size=2, replace=False)
+        candidates = (int(first), int(second))
+        return min(candidates, key=lambda i: (replicas[i].outstanding, i))

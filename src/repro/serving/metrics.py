@@ -3,15 +3,40 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 
 
+@dataclass(frozen=True)
+class ExecutedBatch:
+    """One batch as the device executed it (boundary record).
+
+    Attributes:
+        ready_time_s: Time the batching policy closed the batch.
+        start_time_s: Time the device started executing it.
+        finish_time_s: Time the device finished it.
+        batch_size: Number of requests in the batch (as formed, before any
+            bucket padding).
+    """
+
+    ready_time_s: float
+    start_time_s: float
+    finish_time_s: float
+    batch_size: int
+
+
 class LatencyDistribution:
-    """A collection of per-request latencies with percentile queries."""
+    """A collection of per-request latencies with percentile queries.
+
+    Samples are sorted once at construction; every statistic and percentile
+    query reads the sorted array, and the common tail percentiles
+    (p50/p95/p99) are computed together in a single vectorized pass.
+    """
+
+    _COMMON_PERCENTILES = (50.0, 95.0, 99.0)
 
     def __init__(self, latencies_s: Sequence[float]):
         if len(latencies_s) == 0:
@@ -20,6 +45,7 @@ class LatencyDistribution:
         if np.any(array < 0):
             raise SimulationError("latencies must be non-negative")
         self._latencies = np.sort(array)
+        self._common: Dict[float, float] = {}
 
     def __len__(self) -> int:
         return int(self._latencies.size)
@@ -35,7 +61,16 @@ class LatencyDistribution:
 
     @property
     def max_s(self) -> float:
-        return float(self._latencies.max())
+        return float(self._latencies[-1])
+
+    def percentiles(self, percentiles: Sequence[float]) -> "np.ndarray":
+        """Latencies at several percentiles in one vectorized pass."""
+        values = np.asarray(percentiles, dtype=np.float64)
+        if values.size and (values.min() < 0.0 or values.max() > 100.0):
+            raise SimulationError(
+                f"percentiles must be in [0, 100], got {list(percentiles)}"
+            )
+        return np.percentile(self._latencies, values)
 
     def percentile(self, percentile: float) -> float:
         """Latency at a percentile (e.g. ``99.0`` for the p99 tail)."""
@@ -43,23 +78,30 @@ class LatencyDistribution:
             raise SimulationError(f"percentile must be in [0, 100], got {percentile}")
         return float(np.percentile(self._latencies, percentile))
 
+    def _common_percentile(self, percentile: float) -> float:
+        if not self._common:
+            values = self.percentiles(self._COMMON_PERCENTILES)
+            self._common = dict(zip(self._COMMON_PERCENTILES, values.tolist()))
+        return self._common[percentile]
+
     @property
     def p50_s(self) -> float:
-        return self.percentile(50.0)
+        return self._common_percentile(50.0)
 
     @property
     def p95_s(self) -> float:
-        return self.percentile(95.0)
+        return self._common_percentile(95.0)
 
     @property
     def p99_s(self) -> float:
-        return self.percentile(99.0)
+        return self._common_percentile(99.0)
 
     def sla_attainment(self, sla_s: float) -> float:
         """Fraction of requests finishing within an SLA budget."""
         if sla_s <= 0:
             raise SimulationError(f"sla_s must be positive, got {sla_s}")
-        return float(np.mean(self._latencies <= sla_s))
+        # The array is sorted, so attainment is one binary search.
+        return float(np.searchsorted(self._latencies, sla_s, side="right")) / len(self)
 
 
 @dataclass
@@ -77,6 +119,7 @@ class ServingReport:
     device_busy_s: float
     energy_joules: float
     extra: Dict[str, float] = field(default_factory=dict)
+    executed_batches: Tuple[ExecutedBatch, ...] = ()
 
     @property
     def achieved_qps(self) -> float:

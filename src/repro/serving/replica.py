@@ -1,0 +1,293 @@
+"""Event-driven serving replica: one batching queue + one device on a Simulator.
+
+This is the core the serving stack is built on.  A :class:`ReplicaServer`
+lives on a shared :class:`repro.sim.engine.Simulator`; arrivals, batch-close
+timers, device starts and completions are all scheduled events, so batching
+policies can react to the queue as it evolves (close when the device idles,
+shrink the window as the queue deepens) and dispatchers can inspect live
+replica state at each arrival.
+
+The replica reproduces the legacy replay semantics exactly for open-loop
+policies: a batch closed at time ``t`` enters a FIFO device queue, and the
+device serves batches in close order starting each at
+``max(close_time, device_free_time)`` — the same ``start = max(ready,
+free)`` recurrence the legacy simulator iterated, now emerging from event
+order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.config.models import DLRMConfig
+from repro.errors import SimulationError
+from repro.results import InferenceResult
+from repro.serving.batching import BatchingPolicy, BatchSignal
+from repro.serving.metrics import ExecutedBatch, LatencyDistribution, ServingReport
+from repro.serving.requests import InferenceRequest
+from repro.sim.engine import Event, Simulator
+
+
+class DesignPointRunner(Protocol):
+    """The slice of the runner interface the serving simulation needs."""
+
+    @property
+    def design_point(self) -> str: ...
+
+    def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult: ...
+
+
+class ServiceModel:
+    """Caches the design-point runner's per-batch-size predictions.
+
+    Runner calls are deterministic in ``(model, batch_size)``, so one cache
+    per (runner, model) pair serves every replica and dispatcher estimate.
+    """
+
+    def __init__(
+        self,
+        runner: DesignPointRunner,
+        model: DLRMConfig,
+        cache: Optional[Dict[int, InferenceResult]] = None,
+    ):
+        self.runner = runner
+        self.model = model
+        self._cache: Dict[int, InferenceResult] = cache if cache is not None else {}
+
+    @property
+    def design_point(self) -> str:
+        return self.runner.design_point
+
+    def result(self, batch_size: int) -> InferenceResult:
+        cached = self._cache.get(batch_size)
+        if cached is None:
+            cached = self.runner.run(self.model, batch_size)
+            self._cache[batch_size] = cached
+        return cached
+
+
+class ReplicaServer:
+    """One device behind a batching queue, driven by simulator events.
+
+    Args:
+        sim: The shared event simulator.
+        service: Cached runner predictions for this replica's device.
+        batching: Batching policy (immutable; may be shared across replicas).
+        name: Label used on scheduled events (debugging/tracing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: ServiceModel,
+        batching: BatchingPolicy,
+        name: str = "replica",
+    ):
+        self.sim = sim
+        self.service = service
+        self.batching = batching
+        self.name = name
+        # Open batch accumulating arrivals.
+        self._pending: List[InferenceRequest] = []
+        self._close_timer: Optional[Event] = None
+        # Closed batches waiting for the device, FIFO.
+        self._batch_queue: Deque[Tuple[float, List[InferenceRequest]]] = deque()
+        self._busy = False
+        self._in_flight = 0
+        self.device_free_at = 0.0
+        # Accounting.
+        self.arrivals: List[InferenceRequest] = []
+        self.executed: List[ExecutedBatch] = []
+        self.request_latency_s: List[float] = []
+        self.request_queueing_s: List[float] = []
+        self.busy_time_s = 0.0
+        self.energy_joules = 0.0
+
+    # -- live state inspected by dispatchers ---------------------------
+    @property
+    def device_idle(self) -> bool:
+        """True when the device has nothing running and nothing queued."""
+        return not self._busy and not self._batch_queue
+
+    @property
+    def outstanding(self) -> int:
+        """Requests routed here that have not yet completed."""
+        queued = sum(len(batch) for _, batch in self._batch_queue)
+        return len(self._pending) + queued + self._in_flight
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def estimated_backlog_s(self, now: float) -> float:
+        """Predicted time to drain everything currently routed here.
+
+        Accounts for the device's speed, so a fast replica with a deeper
+        queue can legitimately beat a slow idle one under least-loaded
+        dispatch.
+        """
+        backlog = max(self.device_free_at - now, 0.0) if self._busy else 0.0
+        for _, batch in self._batch_queue:
+            size = self.batching.execution_batch_size(len(batch))
+            backlog += self.service.result(size).latency_seconds
+        if self._pending:
+            size = self.batching.execution_batch_size(len(self._pending))
+            backlog += self.service.result(size).latency_seconds
+        return backlog
+
+    # -- event handlers ------------------------------------------------
+    def submit(self, request: InferenceRequest) -> None:
+        """Accept a request at the current simulated time."""
+        now = self.sim.now
+        self.arrivals.append(request)
+        self._pending.append(request)
+        signal = self.batching.on_enqueue(self._pending, now, self.device_idle)
+        self._apply(signal, now)
+
+    def flush(self) -> None:
+        """Close any pending batch immediately (end-of-stream drain)."""
+        if self._pending:
+            self._close_batch(self.sim.now)
+
+    def _apply(self, signal: BatchSignal, now: float) -> None:
+        if signal.timer_at is not None:
+            self._arm_timer(signal.timer_at)
+        if signal.close and self._pending:
+            self._close_batch(now)
+
+    def _arm_timer(self, time: float) -> None:
+        if self._close_timer is not None:
+            self._close_timer.cancel()
+        self._close_timer = self.sim.schedule_at(
+            max(time, self.sim.now), self._on_timer, label=f"{self.name}:batch-close"
+        )
+
+    def _on_timer(self) -> None:
+        self._close_timer = None
+        if not self._pending:
+            return
+        now = self.sim.now
+        signal = self.batching.on_timer(self._pending, now, self.device_idle)
+        self._apply(signal, now)
+
+    def _close_batch(self, now: float) -> None:
+        if self._close_timer is not None:
+            self._close_timer.cancel()
+            self._close_timer = None
+        batch = self._pending
+        self._pending = []
+        self._batch_queue.append((now, batch))
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._busy or not self._batch_queue:
+            return
+        ready, batch = self._batch_queue.popleft()
+        result = self.service.result(self.batching.execution_batch_size(len(batch)))
+        start = self.sim.now
+        finish = start + result.latency_seconds
+        self._busy = True
+        self._in_flight = len(batch)
+        self.device_free_at = finish
+        self.busy_time_s += result.latency_seconds
+        self.energy_joules += result.energy_joules
+        self.executed.append(
+            ExecutedBatch(
+                ready_time_s=ready,
+                start_time_s=start,
+                finish_time_s=finish,
+                batch_size=len(batch),
+            )
+        )
+        self.sim.schedule_at(
+            finish,
+            lambda b=batch, s=start, f=finish: self._on_complete(b, s, f),
+            label=f"{self.name}:complete",
+        )
+
+    def _on_complete(
+        self, batch: List[InferenceRequest], start: float, finish: float
+    ) -> None:
+        for request in batch:
+            self.request_latency_s.append(finish - request.arrival_time_s)
+            self.request_queueing_s.append(start - request.arrival_time_s)
+        self._busy = False
+        self._in_flight = 0
+        # Only a truly idle device (no closed batches waiting) triggers the
+        # policy hook; with work still queued, greedy policies should keep
+        # accumulating the pending batch.
+        if self._pending and not self._batch_queue:
+            signal = self.batching.on_device_idle(self._pending, self.sim.now)
+            self._apply(signal, self.sim.now)
+        self._maybe_start()
+
+    # -- reporting -----------------------------------------------------
+    def build_report(self, model_name: str) -> ServingReport:
+        """Summarize everything this replica served into a ServingReport."""
+        if not self.executed:
+            raise SimulationError(f"{self.name} executed no batches")
+        completed = len(self.request_latency_s)
+        if completed != len(self.arrivals):
+            raise SimulationError(
+                f"{self.name} lost requests: {len(self.arrivals)} arrived, "
+                f"{completed} completed"
+            )
+        last_arrival = max(request.arrival_time_s for request in self.arrivals)
+        makespan = max(batch.finish_time_s for batch in self.executed)
+        return ServingReport(
+            design_point=self.service.design_point,
+            model_name=model_name,
+            offered_load_qps=completed / max(last_arrival, 1e-12),
+            completed_requests=completed,
+            makespan_s=makespan,
+            latency=LatencyDistribution(self.request_latency_s),
+            queueing=LatencyDistribution(self.request_queueing_s),
+            average_batch_size=sum(b.batch_size for b in self.executed)
+            / len(self.executed),
+            device_busy_s=self.busy_time_s,
+            energy_joules=self.energy_joules,
+            extra={"num_batches": float(len(self.executed))},
+            executed_batches=tuple(self.executed),
+        )
+
+
+def drive_stream(
+    sim: Simulator,
+    replicas: Sequence[ReplicaServer],
+    requests: Sequence[InferenceRequest],
+    route,
+) -> None:
+    """Schedule a request stream and run the simulation to completion.
+
+    Args:
+        sim: The shared simulator all replicas live on.
+        replicas: The replica fleet.
+        requests: The arrival stream (any order; scheduled by arrival time).
+        route: Callable ``(request) -> ReplicaServer`` evaluated *at arrival
+            time*, so routing sees live queue state.
+    """
+    ordered = sorted(requests, key=lambda request: request.arrival_time_s)
+    for request in ordered:
+        sim.schedule_at(
+            request.arrival_time_s,
+            lambda r=request: route(r).submit(r),
+            label="arrival",
+        )
+    sim.run()
+    # Policies without a close timer (e.g. FixedSizeBatching with no wait
+    # cap) can strand a trailing partial batch once the stream ends; flush
+    # and keep running until every replica drains.
+    guard = 0
+    while any(replica.has_pending for replica in replicas):
+        guard += 1
+        if guard > len(requests) + 1:
+            raise SimulationError("serving simulation failed to drain pending requests")
+        for replica in replicas:
+            replica.flush()
+        sim.run()
+    served = sum(len(replica.request_latency_s) for replica in replicas)
+    if served != len(ordered):
+        raise SimulationError(
+            f"request conservation violated: {len(ordered)} arrived, {served} served"
+        )

@@ -1,41 +1,37 @@
 """Single-device serving simulation driven by the design-point runners.
 
-The simulator plays a request stream through a batching policy and a
-single-server queue: batches execute one at a time on the device, each with
-the end-to-end latency the design-point runner predicts for its batch size.
+The simulator is event-driven: request arrivals, batch-close timers, device
+starts and completions are all events on a :class:`repro.sim.engine.Simulator`,
+executed in time order by a :class:`repro.serving.replica.ReplicaServer`.
 Per-request latency is queueing delay (waiting for the batch to form and for
 the device to become free) plus the batch's execution time — exactly the
 quantity an SLA is written against.
+
+For open-loop policies (:class:`~repro.serving.batching.TimeoutBatching`,
+:class:`~repro.serving.batching.FixedSizeBatching`) the event-driven run
+reproduces the legacy replay (:mod:`repro.serving.legacy`) batch-for-batch;
+queue-reactive policies (close-on-full, adaptive window) additionally react
+to device state, which only the event core can express.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Optional, Sequence
 
 from repro.config.models import DLRMConfig
 from repro.errors import SimulationError
-from repro.results import InferenceResult
-from repro.serving.batching import BatchingPolicy, TimeoutBatching
-from repro.serving.metrics import LatencyDistribution, ServingReport
+from repro.serving.batching import BatchingPolicy, default_batching
+from repro.serving.metrics import ServingReport
+from repro.serving.replica import (
+    DesignPointRunner,
+    ReplicaServer,
+    ServiceModel,
+    drive_stream,
+)
 from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
+from repro.sim.engine import Simulator
 
-
-class DesignPointRunner(Protocol):
-    """The slice of the runner interface the serving simulation needs."""
-
-    @property
-    def design_point(self) -> str: ...
-
-    def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult: ...
-
-
-@dataclass(frozen=True)
-class _ExecutedBatch:
-    ready_time_s: float
-    start_time_s: float
-    finish_time_s: float
-    batch_size: int
+__all__ = ["DesignPointRunner", "ServingSimulator"]
 
 
 class ServingSimulator:
@@ -55,70 +51,23 @@ class ServingSimulator:
     ):
         self.runner = runner
         self.model = model
-        self.batching = batching if batching is not None else TimeoutBatching(
-            window_s=2e-3, max_batch_size=64
-        )
-        self._latency_cache: Dict[int, InferenceResult] = {}
-
-    # ------------------------------------------------------------------
-    def _result_for_batch(self, batch_size: int) -> InferenceResult:
-        cached = self._latency_cache.get(batch_size)
-        if cached is None:
-            cached = self.runner.run(self.model, batch_size)
-            self._latency_cache[batch_size] = cached
-        return cached
+        self.batching = batching if batching is not None else default_batching()
+        self._service = ServiceModel(runner, model)
 
     # ------------------------------------------------------------------
     def serve(self, requests: Sequence[InferenceRequest]) -> ServingReport:
         """Serve an explicit request stream and report latency statistics."""
         if not requests:
             raise SimulationError("cannot serve an empty request stream")
-        ordered = sorted(requests, key=lambda request: request.arrival_time_s)
-        batches = self.batching.form_batches(ordered)
-        if not batches:
-            raise SimulationError("the batching policy produced no batches")
-
-        executed: List[_ExecutedBatch] = []
-        per_request_latency: List[float] = []
-        per_request_queueing: List[float] = []
-        device_free_at = 0.0
-        busy_time = 0.0
-        energy = 0.0
-
-        for ready_time, batch_requests in batches:
-            result = self._result_for_batch(len(batch_requests))
-            start = max(ready_time, device_free_at)
-            finish = start + result.latency_seconds
-            device_free_at = finish
-            busy_time += result.latency_seconds
-            energy += result.energy_joules
-            executed.append(
-                _ExecutedBatch(
-                    ready_time_s=ready_time,
-                    start_time_s=start,
-                    finish_time_s=finish,
-                    batch_size=len(batch_requests),
-                )
-            )
-            for request in batch_requests:
-                per_request_latency.append(finish - request.arrival_time_s)
-                per_request_queueing.append(start - request.arrival_time_s)
-
-        makespan = executed[-1].finish_time_s
-        offered_qps = len(ordered) / max(ordered[-1].arrival_time_s, 1e-12)
-        return ServingReport(
-            design_point=self.runner.design_point,
-            model_name=self.model.name,
-            offered_load_qps=offered_qps,
-            completed_requests=len(ordered),
-            makespan_s=makespan,
-            latency=LatencyDistribution(per_request_latency),
-            queueing=LatencyDistribution(per_request_queueing),
-            average_batch_size=sum(b.batch_size for b in executed) / len(executed),
-            device_busy_s=busy_time,
-            energy_joules=energy,
-            extra={"num_batches": float(len(executed))},
+        sim = Simulator()
+        replica = ReplicaServer(
+            sim,
+            self._service,
+            self.batching,
+            name=f"{self.runner.design_point}:0",
         )
+        drive_stream(sim, [replica], requests, lambda request: replica)
+        return replica.build_report(self.model.name)
 
     # ------------------------------------------------------------------
     def serve_poisson(
@@ -147,7 +96,7 @@ class ServingSimulator:
         best = 0.0
         batch_size = 1
         while batch_size <= max_batch_size:
-            result = self._result_for_batch(batch_size)
+            result = self._service.result(batch_size)
             best = max(best, result.throughput_samples_per_second)
             batch_size *= 2
         return best

@@ -65,6 +65,7 @@ class Simulator:
         self.queue = EventQueue()
         self.now: float = 0.0
         self.events_fired: int = 0
+        self._stop_requested = False
 
     # ------------------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -80,6 +81,16 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.queue.push(self.now + delay, callback, label)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask :meth:`run` to return after the current event.
+
+        Useful from inside a callback (e.g. when a measurement horizon or an
+        error condition is reached); the remaining events stay queued, so a
+        later :meth:`run` resumes where the simulation stopped.
+        """
+        self._stop_requested = True
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -106,7 +117,10 @@ class Simulator:
             The simulated time at which execution stopped.
         """
         fired = 0
+        self._stop_requested = False
         while len(self.queue):
+            if self._stop_requested:
+                break
             next_time = self.queue.peek_time()
             if until is not None and next_time is not None and next_time > until:
                 self.now = until

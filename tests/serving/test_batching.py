@@ -2,13 +2,50 @@
 
 import pytest
 
+from repro.config import DLRM1
 from repro.errors import SimulationError
-from repro.serving.batching import FixedSizeBatching, TimeoutBatching
+from repro.results import InferenceResult, LatencyBreakdown
+from repro.serving import ServingSimulator
+from repro.serving.batching import (
+    AdaptiveWindowBatching,
+    CloseOnFullBatching,
+    FixedSizeBatching,
+    SizeBucketedBatching,
+    TimeoutBatching,
+)
 from repro.serving.requests import InferenceRequest
 
 
 def arrivals(times):
     return [InferenceRequest(request_id=i, arrival_time_s=t) for i, t in enumerate(times)]
+
+
+class StubRunner:
+    """Deterministic device: latency = base + per_sample * batch_size."""
+
+    design_point = "Stub"
+
+    def __init__(self, base_s=1e-3, per_sample_s=0.0, power_watts=10.0):
+        self.base_s = base_s
+        self.per_sample_s = per_sample_s
+        self.power_watts = power_watts
+
+    def run(self, model, batch_size):
+        return InferenceResult(
+            design_point=self.design_point,
+            model_name=model.name,
+            batch_size=batch_size,
+            breakdown=LatencyBreakdown(
+                {"EMB": self.base_s + self.per_sample_s * batch_size}
+            ),
+            power_watts=self.power_watts,
+        )
+
+
+def serve(policy, times, runner=None):
+    runner = runner if runner is not None else StubRunner()
+    simulator = ServingSimulator(runner, DLRM1, batching=policy)
+    return simulator.serve(arrivals(times))
 
 
 class TestFixedSizeBatching:
@@ -83,3 +120,137 @@ class TestTimeoutBatching:
             TimeoutBatching(window_s=0.0)
         with pytest.raises(SimulationError):
             TimeoutBatching(window_s=1.0, max_batch_size=0)
+
+
+class TestCloseOnFullBatching:
+    def test_idle_device_dispatches_immediately(self):
+        # Lone request with the device idle: no batching delay at all.
+        report = serve(CloseOnFullBatching(batch_size=8), [0.0])
+        assert report.executed_batches[0].ready_time_s == 0.0
+        assert report.latency.mean_s == pytest.approx(1e-3)
+
+    def test_busy_device_accumulates_then_dispatches_on_idle(self):
+        # First request ties up the device for 1 ms; the next three arrive
+        # while it is busy and dispatch as one batch the moment it frees.
+        report = serve(
+            CloseOnFullBatching(batch_size=8), [0.0, 2e-4, 4e-4, 6e-4]
+        )
+        sizes = [batch.batch_size for batch in report.executed_batches]
+        assert sizes == [1, 3]
+        assert report.executed_batches[1].start_time_s == pytest.approx(1e-3)
+
+    def test_queued_work_keeps_pending_accumulating(self):
+        # While a closed batch is still waiting for the device, the device is
+        # not idle: completions must not prematurely flush the pending batch.
+        # r0 runs alone; r1+r2 close as a full batch and queue; r3 arrives
+        # pending.  When r0 completes the queued batch starts (device busy
+        # again), so r3 keeps accumulating and batches with r4.
+        report = serve(
+            CloseOnFullBatching(batch_size=2), [0.0, 2e-4, 3e-4, 4e-4, 1.5e-3]
+        )
+        sizes = [batch.batch_size for batch in report.executed_batches]
+        assert sizes == [1, 2, 2]
+
+    def test_full_batch_dispatches_even_while_busy(self):
+        policy = CloseOnFullBatching(batch_size=2)
+        report = serve(policy, [0.0, 1e-4, 2e-4, 3e-4, 4e-4])
+        assert all(batch.batch_size <= 2 for batch in report.executed_batches)
+        assert report.completed_requests == 5
+
+    def test_cannot_form_batches_open_loop(self):
+        with pytest.raises(SimulationError):
+            CloseOnFullBatching(batch_size=4).form_batches(arrivals([0.0]))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CloseOnFullBatching(batch_size=0)
+        with pytest.raises(SimulationError):
+            CloseOnFullBatching(batch_size=4, max_wait_s=0.0)
+
+
+class TestAdaptiveWindowBatching:
+    def test_lone_request_waits_the_full_window(self):
+        report = serve(AdaptiveWindowBatching(base_window_s=2e-3), [0.0])
+        assert report.executed_batches[0].ready_time_s == pytest.approx(2e-3)
+
+    def test_window_shrinks_as_queue_deepens(self):
+        # Two pending requests halve the window (sensitivity 1): the batch
+        # closes at 1 ms, not 2 ms.
+        report = serve(
+            AdaptiveWindowBatching(base_window_s=2e-3, depth_sensitivity=1.0),
+            [0.0, 1e-4],
+        )
+        assert report.executed_batches[0].ready_time_s == pytest.approx(1e-3)
+        assert report.executed_batches[0].batch_size == 2
+
+    def test_full_batch_closes_immediately(self):
+        report = serve(
+            AdaptiveWindowBatching(base_window_s=5e-3, max_batch_size=3),
+            [0.0, 1e-4, 2e-4],
+        )
+        assert report.executed_batches[0].ready_time_s == pytest.approx(2e-4)
+
+    def test_min_window_floors_the_shrinkage(self):
+        report = serve(
+            AdaptiveWindowBatching(
+                base_window_s=2e-3, depth_sensitivity=100.0, min_window_s=1e-3
+            ),
+            [0.0, 1e-5, 2e-5],
+        )
+        assert report.executed_batches[0].ready_time_s == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AdaptiveWindowBatching(base_window_s=0.0)
+        with pytest.raises(SimulationError):
+            AdaptiveWindowBatching(base_window_s=1e-3, max_batch_size=0)
+        with pytest.raises(SimulationError):
+            AdaptiveWindowBatching(base_window_s=1e-3, depth_sensitivity=-1.0)
+        with pytest.raises(SimulationError):
+            AdaptiveWindowBatching(base_window_s=1e-3, min_window_s=-1.0)
+
+
+class TestSizeBucketedBatching:
+    def test_batches_execute_padded_to_the_next_bucket(self):
+        # Three requests in one window, buckets (1, 2, 4): the device runs a
+        # size-4 execution, so busy time reflects 4 samples, not 3.
+        runner = StubRunner(base_s=1e-3, per_sample_s=1e-4)
+        report = serve(
+            SizeBucketedBatching(window_s=1e-3, buckets=(1, 2, 4)),
+            [0.0, 1e-4, 2e-4],
+            runner=runner,
+        )
+        assert report.executed_batches[0].batch_size == 3  # as formed
+        assert report.device_busy_s == pytest.approx(1e-3 + 4 * 1e-4)
+
+    def test_exact_bucket_sizes_execute_unpadded(self):
+        runner = StubRunner(base_s=1e-3, per_sample_s=1e-4)
+        report = serve(
+            SizeBucketedBatching(window_s=1e-3, buckets=(1, 2, 4)),
+            [0.0, 1e-4],
+            runner=runner,
+        )
+        assert report.device_busy_s == pytest.approx(1e-3 + 2 * 1e-4)
+
+    def test_largest_bucket_closes_immediately(self):
+        report = serve(
+            SizeBucketedBatching(window_s=10.0, buckets=(1, 2)),
+            [0.0, 1e-4, 2e-4, 3e-4],
+        )
+        assert [batch.batch_size for batch in report.executed_batches] == [2, 2]
+
+    def test_execution_batch_size_rounding(self):
+        policy = SizeBucketedBatching(window_s=1e-3, buckets=(1, 2, 4, 8))
+        assert policy.execution_batch_size(1) == 1
+        assert policy.execution_batch_size(3) == 4
+        assert policy.execution_batch_size(8) == 8
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SizeBucketedBatching(window_s=0.0)
+        with pytest.raises(SimulationError):
+            SizeBucketedBatching(window_s=1e-3, buckets=())
+        with pytest.raises(SimulationError):
+            SizeBucketedBatching(window_s=1e-3, buckets=(4, 2))
+        with pytest.raises(SimulationError):
+            SizeBucketedBatching(window_s=1e-3, buckets=(0, 2))

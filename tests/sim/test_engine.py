@@ -114,3 +114,29 @@ class TestStepping:
         sim.schedule(2e-6, lambda: fired.append(2))
         assert sim.step() is True
         assert fired == [1]
+
+
+class TestStop:
+    def test_stop_returns_after_current_event_and_resumes(self):
+        sim = Simulator()
+        fired = []
+
+        def second():
+            fired.append("second")
+            sim.stop()
+
+        sim.schedule(1e-6, lambda: fired.append("first"))
+        sim.schedule(2e-6, second)
+        sim.schedule(3e-6, lambda: fired.append("third"))
+        sim.run()
+        assert fired == ["first", "second"]
+        # The stop request does not leak into the next run.
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_stop_without_run_is_harmless(self):
+        sim = Simulator()
+        sim.stop()
+        sim.schedule(1e-6, lambda: None)
+        assert sim.run() == pytest.approx(1e-6)
+        assert sim.events_fired == 1
