@@ -8,16 +8,13 @@ per request.
 """
 
 from repro.analysis import render_serving_comparison
+from repro.backends import get_backend
 from repro.config import DLRM2
-from repro.core import CentaurRunner
-from repro.cpu import CPUOnlyRunner
-from repro.gpu import CPUGPURunner
 from repro.serving import (
     HeterogeneousCluster,
     JoinShortestQueueDispatcher,
     LeastLoadedDispatcher,
     PowerOfTwoChoicesDispatcher,
-    ReplicaSpec,
     RoundRobinDispatcher,
     ServingSimulator,
     TimeoutBatching,
@@ -33,9 +30,9 @@ BATCHING = TimeoutBatching(window_s=1e-3, max_batch_size=64)
 def _serve_all(system):
     reports = {}
     for runner in (
-        CPUOnlyRunner(system),
-        CPUGPURunner(system),
-        CentaurRunner(system),
+        get_backend("cpu", system),
+        get_backend("cpu-gpu", system),
+        get_backend("centaur", system),
     ):
         simulator = ServingSimulator(runner, DLRM2, batching=BATCHING)
         reports[runner.design_point] = simulator.serve_poisson(
@@ -85,13 +82,10 @@ def _serve_fleet(system):
         JoinShortestQueueDispatcher(),
         LeastLoadedDispatcher(),
     ):
-        fleet = HeterogeneousCluster(
-            [
-                ReplicaSpec(CPUOnlyRunner(system)),
-                ReplicaSpec(CPUOnlyRunner(system)),
-                ReplicaSpec(CentaurRunner(system)),
-            ],
+        fleet = HeterogeneousCluster.from_backends(
+            ["cpu", "cpu", "centaur"],
             DLRM2,
+            system,
             dispatcher=dispatcher,
             batching=BATCHING,
         )

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro import CentaurRunner, CPUGPURunner, CPUOnlyRunner
+from repro import get_backend
 from repro.analysis import render_serving_comparison
 from repro.config import DLRM2, DLRM4, HARPV2_SYSTEM
 from repro.config.models import DLRMConfig
@@ -83,10 +83,8 @@ def provision(model: DLRMConfig) -> None:
     print(f"Provisioning {model.name}: SLA = {SLA_SECONDS * 1e3:.1f} ms per batch, "
           f"target load = {TARGET_QPS:,.0f} QPS")
     print("=" * 72)
-    runners = (
-        CPUOnlyRunner(HARPV2_SYSTEM),
-        CPUGPURunner(HARPV2_SYSTEM),
-        CentaurRunner(HARPV2_SYSTEM),
+    runners = tuple(
+        get_backend(name, HARPV2_SYSTEM) for name in ("cpu", "cpu-gpu", "centaur")
     )
     table = TextTable(
         [
@@ -137,8 +135,8 @@ def validate_with_simulation(model: DLRMConfig) -> None:
     """
     batching = TimeoutBatching(window_s=1e-3, max_batch_size=64)
     reports = {}
-    for runner_factory in (CPUOnlyRunner, CentaurRunner):
-        runner = runner_factory(HARPV2_SYSTEM)
+    for backend_name in ("cpu", "centaur"):
+        runner = get_backend(backend_name, HARPV2_SYSTEM)
         point = best_operating_point(runner, model, SLA_SECONDS)
         if point.nodes_for_target is None:
             continue

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro import CentaurRunner, FPGAResourceModel
+from repro import FPGAResourceModel, get_backend
 from repro.analysis import ablation_link_bandwidth, render_ablation
 from repro.config import DLRM4, DLRM6, HARPV2_SYSTEM
 from repro.config.system import FPGAConfig
@@ -34,7 +34,7 @@ def sweep_pe_array() -> None:
         ["PE array", "peak GFLOPS", "DSPs", "DSP util %", "ALMs", "DLRM(6) MLP speedup"],
     )
     base_fpga = FPGAConfig()
-    base_runner = CentaurRunner(HARPV2_SYSTEM.with_fpga(base_fpga))
+    base_runner = get_backend("centaur", HARPV2_SYSTEM.with_fpga(base_fpga))
     base_mlp = base_runner.run(DLRM6, 64).breakdown.get("MLP")
     for rows_cols in ((2, 2), (4, 4), (6, 6), (8, 8)):
         fpga = replace(base_fpga, mlp_pe_rows=rows_cols[0], mlp_pe_cols=rows_cols[1])
@@ -47,7 +47,7 @@ def sweep_pe_array() -> None:
                  f"does not fit: {error}"]
             )
             continue
-        runner = CentaurRunner(HARPV2_SYSTEM.with_fpga(fpga))
+        runner = get_backend("centaur", HARPV2_SYSTEM.with_fpga(fpga))
         mlp_time = runner.run(DLRM6, 64).breakdown.get("MLP")
         table.add_row(
             [

@@ -12,7 +12,7 @@ Run with:  python examples/online_serving.py
 
 from __future__ import annotations
 
-from repro import CentaurRunner, CPUGPURunner, CPUOnlyRunner
+from repro import get_backend
 from repro.analysis import render_serving_comparison
 from repro.config import DLRM2, HARPV2_SYSTEM
 from repro.serving import (
@@ -22,7 +22,6 @@ from repro.serving import (
     JoinShortestQueueDispatcher,
     LeastLoadedDispatcher,
     PowerOfTwoChoicesDispatcher,
-    ReplicaSpec,
     RoundRobinDispatcher,
     ServingSimulator,
     TimeoutBatching,
@@ -41,10 +40,8 @@ SLA_S = 5e-3
 
 def main() -> None:
     model = DLRM2
-    runners = (
-        CPUOnlyRunner(HARPV2_SYSTEM),
-        CPUGPURunner(HARPV2_SYSTEM),
-        CentaurRunner(HARPV2_SYSTEM),
+    runners = tuple(
+        get_backend(name, HARPV2_SYSTEM) for name in ("cpu", "cpu-gpu", "centaur")
     )
     print(f"Serving {model.name} with a {BATCHING.window_s * 1e3:.1f} ms batching window, "
           f"max batch {BATCHING.max_batch_size}, SLA {SLA_S * 1e3:.0f} ms\n")
@@ -101,7 +98,9 @@ def compare_batching_policies(model) -> None:
     }
     reports = {}
     for label, policy in policies.items():
-        simulator = ServingSimulator(CentaurRunner(HARPV2_SYSTEM), model, batching=policy)
+        simulator = ServingSimulator(
+            get_backend("centaur", HARPV2_SYSTEM), model, batching=policy
+        )
         reports[label] = simulator.serve_poisson(
             rate_qps=30_000, duration_s=DURATION_S, seed=42
         )
@@ -130,13 +129,10 @@ def compare_dispatchers(model) -> None:
     )
     reports = {}
     for dispatcher in dispatchers:
-        fleet = HeterogeneousCluster(
-            [
-                ReplicaSpec(CPUOnlyRunner(HARPV2_SYSTEM)),
-                ReplicaSpec(CPUOnlyRunner(HARPV2_SYSTEM)),
-                ReplicaSpec(CentaurRunner(HARPV2_SYSTEM)),
-            ],
+        fleet = HeterogeneousCluster.from_backends(
+            ["cpu", "cpu", "centaur"],
             model,
+            HARPV2_SYSTEM,
             dispatcher=dispatcher,
             batching=BATCHING,
         )

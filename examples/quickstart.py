@@ -20,10 +20,8 @@ import numpy as np
 
 from repro import (
     CentaurDevice,
-    CentaurRunner,
-    CPUGPURunner,
-    CPUOnlyRunner,
     DLRM,
+    Experiment,
     UniformTraceGenerator,
 )
 from repro.config import DLRM1, HARPV2_SYSTEM
@@ -68,9 +66,14 @@ def performance_demo() -> None:
     print("2. Performance model: CPU-only vs CPU-GPU vs Centaur on DLRM(1)")
     print("=" * 72)
 
-    cpu = CPUOnlyRunner(HARPV2_SYSTEM)
-    gpu = CPUGPURunner(HARPV2_SYSTEM)
-    centaur = CentaurRunner(HARPV2_SYSTEM)
+    batch_sizes = (1, 4, 16, 32, 64, 128)
+    grid = (
+        Experiment(HARPV2_SYSTEM)
+        .backends("cpu", "cpu-gpu", "centaur")
+        .models(DLRM1)
+        .batch_sizes(batch_sizes)
+        .run()
+    )
 
     table = TextTable(
         [
@@ -83,10 +86,10 @@ def performance_demo() -> None:
         ],
         title="End-to-end inference latency (DLRM(1))",
     )
-    for batch_size in (1, 4, 16, 32, 64, 128):
-        cpu_result = cpu.run(DLRM1, batch_size)
-        gpu_result = gpu.run(DLRM1, batch_size)
-        centaur_result = centaur.run(DLRM1, batch_size)
+    for batch_size in batch_sizes:
+        cpu_result = grid.get("cpu", DLRM1.name, batch_size)
+        gpu_result = grid.get("cpu-gpu", DLRM1.name, batch_size)
+        centaur_result = grid.get("centaur", DLRM1.name, batch_size)
         table.add_row(
             [
                 batch_size,
@@ -99,7 +102,7 @@ def performance_demo() -> None:
         )
     print(table.render())
 
-    result = centaur.run(DLRM1, 32)
+    result = grid.get("centaur", DLRM1.name, 32)
     print("\nCentaur stage breakdown at batch 32:")
     for stage, seconds in result.breakdown.stages.items():
         print(f"  {stage:<6} {seconds_to_human(seconds):>12}  ({result.breakdown.fraction(stage) * 100:5.1f}%)")

@@ -21,6 +21,21 @@ Quickstart::
     cpu = CPUOnlyRunner(HARPV2_SYSTEM).run(DLRM1, 16)
     fpga = CentaurRunner(HARPV2_SYSTEM).run(DLRM1, 16)
     print(f"speedup: {fpga.speedup_over(cpu):.2f}x")
+
+Backends are addressed by registry name, and experiment grids replace
+hand-built runner loops::
+
+    from repro import Experiment, get_backend, available_backends
+    from repro.config import HARPV2_SYSTEM, PAPER_MODELS, PAPER_BATCH_SIZES
+
+    result = (
+        Experiment(HARPV2_SYSTEM)
+        .backends("cpu", "centaur")
+        .models(PAPER_MODELS)
+        .batch_sizes(PAPER_BATCH_SIZES)
+        .run()
+    )
+    print(result.get("centaur", "DLRM(3)", 64).latency_seconds)
 """
 
 from repro.version import __version__, PAPER_TITLE, PAPER_VENUE, PAPER_AUTHORS
@@ -68,6 +83,20 @@ from repro.dlrm import (
     VirtualEmbeddingTable,
     sparse_lengths_sum,
     MLP,
+)
+from repro.backends import (
+    Backend,
+    BackendCapabilities,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.experiment import (
+    Experiment,
+    ExperimentResult,
+    ResultCache,
+    default_cache,
+    run_grid,
 )
 from repro.cpu import CPUOnlyRunner
 from repro.gpu import CPUGPURunner
@@ -143,6 +172,16 @@ __all__ = [
     "VirtualEmbeddingTable",
     "sparse_lengths_sum",
     "MLP",
+    "Backend",
+    "BackendCapabilities",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "Experiment",
+    "ExperimentResult",
+    "ResultCache",
+    "default_cache",
+    "run_grid",
     "CPUOnlyRunner",
     "CPUGPURunner",
     "CentaurDevice",

@@ -42,6 +42,7 @@ from repro.analysis.tables import (
     table5_related_work,
 )
 from repro.analysis.report import (
+    render_experiment,
     render_figure5,
     render_figure6,
     render_figure7,
@@ -87,6 +88,7 @@ __all__ = [
     "table3_module_resources",
     "table4_power",
     "table5_related_work",
+    "render_experiment",
     "render_figure5",
     "render_figure6",
     "render_figure7",

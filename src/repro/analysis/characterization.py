@@ -14,8 +14,8 @@ from typing import Iterable, List, Optional, Sequence
 from repro.config.models import DLRMConfig, homogeneous_dlrm
 from repro.config.presets import PAPER_BATCH_SIZES, PAPER_MODELS
 from repro.config.system import SystemConfig
-from repro.cpu.cpu_runner import CPUOnlyRunner
 from repro.errors import SimulationError
+from repro.experiment.experiment import Experiment, VariantSweep
 
 
 @dataclass(frozen=True)
@@ -77,12 +77,14 @@ def figure5_latency_breakdown(
     """
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    runner = CPUOnlyRunner(system)
+    grid = (
+        Experiment(system).backends("cpu").models(models).batch_sizes(batch_sizes).run()
+    )
     rows: List[Figure5Row] = []
     reference_latency: Optional[float] = None
     for model in models:
         for batch_size in batch_sizes:
-            result = runner.run(model, batch_size)
+            result = grid.get("cpu", model.name, batch_size)
             if reference_latency is None:
                 reference_latency = result.latency_seconds
             rows.append(
@@ -110,11 +112,13 @@ def figure6_cache_behaviour(
     """Reproduce Figure 6: LLC miss rate and MPKI of EMB vs MLP layers."""
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    runner = CPUOnlyRunner(system)
+    grid = (
+        Experiment(system).backends("cpu").models(models).batch_sizes(batch_sizes).run()
+    )
     rows: List[Figure6Row] = []
     for model in models:
         for batch_size in batch_sizes:
-            result = runner.run(model, batch_size)
+            result = grid.get("cpu", model.name, batch_size)
             if result.embedding_traffic is None or result.mlp_traffic is None:
                 raise SimulationError("CPU-only runner must attach traffic profiles")
             rows.append(
@@ -141,11 +145,13 @@ def figure7_effective_throughput(
     """Reproduce Figure 7(a): CPU-only effective embedding throughput."""
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    runner = CPUOnlyRunner(system)
+    grid = (
+        Experiment(system).backends("cpu").models(models).batch_sizes(batch_sizes).run()
+    )
     points: List[Figure7Point] = []
     for model in models:
         for batch_size in batch_sizes:
-            throughput = runner.effective_embedding_throughput(model, batch_size)
+            throughput = grid.get("cpu", model.name, batch_size).effective_embedding_throughput
             points.append(
                 Figure7Point(
                     model_name=model.name,
@@ -193,12 +199,20 @@ def figure7_lookup_sweep(
     """
     reference = reference if reference is not None else PAPER_MODELS[3]  # DLRM(4)
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    runner = CPUOnlyRunner(system)
+    lookups = tuple(lookups)
+    sweep = VariantSweep(
+        system,
+        ("cpu",),
+        {count: single_table_model(reference, count) for count in lookups},
+        batch_sizes,
+    )
     points: List[Figure7Point] = []
     for batch_size in batch_sizes:
         for lookup_count in lookups:
-            model = single_table_model(reference, lookup_count)
-            throughput = runner.effective_embedding_throughput(model, batch_size)
+            model = sweep.model(lookup_count)
+            throughput = sweep.result(
+                lookup_count, "cpu", batch_size
+            ).effective_embedding_throughput
             points.append(
                 Figure7Point(
                     model_name=model.name,

@@ -8,11 +8,11 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.config.models import DLRMConfig
 from repro.config.presets import PAPER_BATCH_SIZES, PAPER_MODELS
 from repro.config.system import SystemConfig
-from repro.core.centaur import CentaurRunner
-from repro.cpu.cpu_runner import CPUOnlyRunner
 from repro.analysis.characterization import single_table_model
-from repro.analysis.sweep import DesignPointSweep, SweepResult
+from repro.analysis.sweep import SweepResult
 from repro.errors import SimulationError
+from repro.experiment.experiment import Experiment, VariantSweep
+from repro.results import InferenceResult
 from repro.utils.stats_utils import geometric_mean
 
 
@@ -48,8 +48,13 @@ def figure13_centaur_throughput(
     """Reproduce Figure 13(a): Centaur's effective gather throughput vs CPU-only."""
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    centaur = CentaurRunner(system)
-    cpu = CPUOnlyRunner(system)
+    grid = (
+        Experiment(system)
+        .backends("cpu", "centaur")
+        .models(models)
+        .batch_sizes(batch_sizes)
+        .run()
+    )
     rows: List[Figure13Row] = []
     for model in models:
         for batch_size in batch_sizes:
@@ -57,10 +62,12 @@ def figure13_centaur_throughput(
                 Figure13Row(
                     model_name=model.name,
                     batch_size=batch_size,
-                    centaur_throughput=centaur.effective_embedding_throughput(
-                        model, batch_size
-                    ),
-                    cpu_throughput=cpu.effective_embedding_throughput(model, batch_size),
+                    centaur_throughput=grid.get(
+                        "centaur", model.name, batch_size
+                    ).effective_embedding_throughput,
+                    cpu_throughput=grid.get(
+                        "cpu", model.name, batch_size
+                    ).effective_embedding_throughput,
                     lookups_per_table=model.gathers_per_table * batch_size,
                 )
             )
@@ -76,20 +83,26 @@ def figure13_lookup_sweep(
     """Reproduce Figure 13(b): Centaur throughput vs lookups per table."""
     reference = reference if reference is not None else PAPER_MODELS[3]  # DLRM(4)
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    centaur = CentaurRunner(system)
-    cpu = CPUOnlyRunner(system)
+    lookups = tuple(lookups)
+    sweep = VariantSweep(
+        system,
+        ("cpu", "centaur"),
+        {count: single_table_model(reference, count) for count in lookups},
+        batch_sizes,
+    )
     rows: List[Figure13Row] = []
     for batch_size in batch_sizes:
         for lookup_count in lookups:
-            model = single_table_model(reference, lookup_count)
             rows.append(
                 Figure13Row(
-                    model_name=model.name,
+                    model_name=sweep.model(lookup_count).name,
                     batch_size=batch_size,
-                    centaur_throughput=centaur.effective_embedding_throughput(
-                        model, batch_size
-                    ),
-                    cpu_throughput=cpu.effective_embedding_throughput(model, batch_size),
+                    centaur_throughput=sweep.result(
+                        lookup_count, "centaur", batch_size
+                    ).effective_embedding_throughput,
+                    cpu_throughput=sweep.result(
+                        lookup_count, "cpu", batch_size
+                    ).effective_embedding_throughput,
                     lookups_per_table=float(lookup_count * batch_size),
                 )
             )
@@ -133,14 +146,22 @@ def figure14_centaur_breakdown(
     batch_sizes: Optional[Iterable[int]] = None,
     sweep: Optional[SweepResult] = None,
 ) -> List[Figure14Row]:
-    """Reproduce Figure 14: Centaur's latency breakdown and end-to-end speedup."""
+    """Reproduce Figure 14: Centaur's latency breakdown and end-to-end speedup.
+
+    ``sweep`` may be a legacy :class:`SweepResult` or an
+    :class:`~repro.experiment.ExperimentResult`; both answer
+    ``get(design_point, model_name, batch_size)``.
+    """
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
     if sweep is None:
-        sweep = DesignPointSweep(
-            system, models=models, batch_sizes=batch_sizes,
-            design_points=("CPU-only", "Centaur"),
-        ).run()
+        sweep = (
+            Experiment(system)
+            .backends("cpu", "centaur")
+            .models(models)
+            .batch_sizes(batch_sizes)
+            .run()
+        )
     rows: List[Figure14Row] = []
     for model in models:
         for batch_size in batch_sizes:
@@ -194,11 +215,21 @@ def figure15_comparison(
     batch_sizes: Optional[Iterable[int]] = None,
     sweep: Optional[SweepResult] = None,
 ) -> List[Figure15Row]:
-    """Reproduce Figure 15: performance and energy-efficiency vs CPU-GPU."""
+    """Reproduce Figure 15: performance and energy-efficiency vs CPU-GPU.
+
+    ``sweep`` may be a legacy :class:`SweepResult` or an
+    :class:`~repro.experiment.ExperimentResult`.
+    """
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
     if sweep is None:
-        sweep = DesignPointSweep(system, models=models, batch_sizes=batch_sizes).run()
+        sweep = (
+            Experiment(system)
+            .backends("cpu", "cpu-gpu", "centaur")
+            .models(models)
+            .batch_sizes(batch_sizes)
+            .run()
+        )
     rows: List[Figure15Row] = []
     for model in models:
         for batch_size in batch_sizes:
@@ -256,8 +287,19 @@ def ablation_link_bandwidth(
     model = model if model is not None else PAPER_MODELS[3]  # DLRM(4)
     if batch_size <= 0:
         raise SimulationError(f"batch_size must be positive, got {batch_size}")
-    baseline_runner = CentaurRunner(system)
-    baseline = baseline_runner.run(model, batch_size)
+
+    def centaur_point(target_system: SystemConfig) -> InferenceResult:
+        """One cached Centaur design point on a (possibly modified) platform."""
+        grid = (
+            Experiment(target_system)
+            .backends("centaur")
+            .models(model)
+            .batch_sizes(batch_size)
+            .run()
+        )
+        return grid.get("centaur", model.name, batch_size)
+
+    baseline = centaur_point(system)
     points: List[AblationPoint] = []
     for scale in bandwidth_scales:
         if scale <= 0:
@@ -270,9 +312,7 @@ def ablation_link_bandwidth(
             effective_bandwidth=system.link.effective_bandwidth * scale,
             max_outstanding_requests=int(system.link.max_outstanding_requests * scale),
         )
-        scaled_system = system.with_link(link)
-        runner = CentaurRunner(scaled_system)
-        result = runner.run(model, batch_size)
+        result = centaur_point(system.with_link(link))
         points.append(
             AblationPoint(
                 label=f"{scale:.0f}x link",
@@ -293,9 +333,7 @@ def ablation_link_bandwidth(
             bypass_link,
             max_outstanding_requests=system.link.max_outstanding_requests * 4,
         )
-        bypass_system = system.with_link(bypass_link)
-        runner = CentaurRunner(bypass_system)
-        result = runner.run(model, batch_size)
+        result = centaur_point(system.with_link(bypass_link))
         points.append(
             AblationPoint(
                 label="cache-bypass @ DRAM bw",
@@ -327,7 +365,13 @@ def headline_summary(
     """
     models = tuple(models) if models is not None else PAPER_MODELS
     batch_sizes = tuple(batch_sizes) if batch_sizes is not None else PAPER_BATCH_SIZES
-    sweep = DesignPointSweep(system, models=models, batch_sizes=batch_sizes).run()
+    sweep = (
+        Experiment(system)
+        .backends("cpu", "cpu-gpu", "centaur")
+        .models(models)
+        .batch_sizes(batch_sizes)
+        .run()
+    )
 
     speedups: List[float] = []
     efficiencies: List[float] = []

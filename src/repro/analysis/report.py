@@ -297,6 +297,32 @@ def render_headline(summary: dict) -> List[str]:
     ]
 
 
+def render_experiment(grid, title: str = "Experiment grid") -> str:
+    """Render an :class:`~repro.experiment.ExperimentResult` as a text table.
+
+    One row per design point: backend, model, batch, end-to-end latency,
+    throughput and energy.
+    """
+    from repro.utils.units import seconds_to_human
+
+    table = TextTable(
+        ["backend", "model", "batch", "latency", "samples/s", "energy/batch (mJ)"],
+        title=title,
+    )
+    for (backend, _, _), result in grid:
+        table.add_row(
+            [
+                backend,
+                result.model_name,
+                result.batch_size,
+                seconds_to_human(result.latency_seconds),
+                f"{result.throughput_samples_per_second:,.0f}",
+                result.energy_joules * 1e3,
+            ]
+        )
+    return table.render()
+
+
 def render_serving_comparison(
     reports: Mapping[str, object],
     sla_s: float,

@@ -20,9 +20,8 @@ from typing import Iterable, List, Optional
 
 from repro.config.models import DLRMConfig, homogeneous_dlrm
 from repro.config.system import SystemConfig
-from repro.core.centaur import CentaurRunner
-from repro.cpu.cpu_runner import CPUOnlyRunner
 from repro.errors import SimulationError
+from repro.experiment.experiment import Experiment, VariantSweep
 
 
 @dataclass(frozen=True)
@@ -84,21 +83,33 @@ def embedding_dim_sweep(
     from repro.config.presets import DLRM4
 
     reference = reference if reference is not None else DLRM4
-    cpu = CPUOnlyRunner(system)
-    centaur = CentaurRunner(system)
-    points: List[SensitivityPoint] = []
+    dims = tuple(dims)
     for dim in dims:
         if dim <= 0:
             raise SimulationError(f"embedding dims must be positive, got {dim}")
-        model = _sweep_model(reference, dim, int(reference.gathers_per_table))
+    sweep = VariantSweep(
+        system,
+        ("cpu", "centaur"),
+        {
+            dim: _sweep_model(reference, dim, int(reference.gathers_per_table))
+            for dim in dims
+        },
+        (batch_size,),
+    )
+    points: List[SensitivityPoint] = []
+    for dim in dims:
         points.append(
             SensitivityPoint(
                 parameter="embedding_dim",
                 value=dim,
                 batch_size=batch_size,
                 embedding_dim=dim,
-                cpu_throughput=cpu.effective_embedding_throughput(model, batch_size),
-                centaur_throughput=centaur.effective_embedding_throughput(model, batch_size),
+                cpu_throughput=sweep.result(
+                    dim, "cpu", batch_size
+                ).effective_embedding_throughput,
+                centaur_throughput=sweep.result(
+                    dim, "centaur", batch_size
+                ).effective_embedding_throughput,
                 dram_peak_bandwidth=system.memory.peak_bandwidth,
                 link_effective_bandwidth=system.link.effective_bandwidth,
             )
@@ -115,22 +126,31 @@ def batch_size_sweep(
     from repro.config.presets import DLRM4
 
     reference = reference if reference is not None else DLRM4
-    cpu = CPUOnlyRunner(system)
-    centaur = CentaurRunner(system)
-    points: List[SensitivityPoint] = []
+    batch_sizes = tuple(batch_sizes)
     for batch_size in batch_sizes:
         if batch_size <= 0:
             raise SimulationError(f"batch sizes must be positive, got {batch_size}")
+    grid = (
+        Experiment(system)
+        .backends("cpu", "centaur")
+        .models(reference)
+        .batch_sizes(batch_sizes)
+        .run()
+    )
+    points: List[SensitivityPoint] = []
+    for batch_size in batch_sizes:
         points.append(
             SensitivityPoint(
                 parameter="batch_size",
                 value=batch_size,
                 batch_size=batch_size,
                 embedding_dim=reference.embedding_dim,
-                cpu_throughput=cpu.effective_embedding_throughput(reference, batch_size),
-                centaur_throughput=centaur.effective_embedding_throughput(
-                    reference, batch_size
-                ),
+                cpu_throughput=grid.get(
+                    "cpu", reference.name, batch_size
+                ).effective_embedding_throughput,
+                centaur_throughput=grid.get(
+                    "centaur", reference.name, batch_size
+                ).effective_embedding_throughput,
                 dram_peak_bandwidth=system.memory.peak_bandwidth,
                 link_effective_bandwidth=system.link.effective_bandwidth,
             )

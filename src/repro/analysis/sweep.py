@@ -1,9 +1,10 @@
-"""Parameter-sweep driver shared by the figure reproductions.
+"""Legacy sweep driver, now a compatibility wrapper over the Experiment API.
 
-Running every (design point, model, batch size) combination is the common
-substrate of Figures 13-15; :class:`DesignPointSweep` runs them once and
-caches the :class:`~repro.results.InferenceResult` objects so each figure
-function can slice the same data.
+:class:`DesignPointSweep` predates :class:`repro.experiment.Experiment`;
+it survives as a thin shim so existing call sites keep working, while the
+actual grid evaluation (and its memoization) lives in the experiment layer.
+New code should build grids with ``Experiment(system).backends(...)``
+directly.
 """
 
 from __future__ import annotations
@@ -11,13 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.backends.registry import canonical_backend_name
 from repro.config.models import DLRMConfig
 from repro.config.presets import PAPER_BATCH_SIZES, PAPER_MODELS
 from repro.config.system import SystemConfig
-from repro.core.centaur import CentaurRunner
-from repro.cpu.cpu_runner import CPUOnlyRunner
-from repro.errors import SimulationError
-from repro.gpu.gpu_runner import CPUGPURunner
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiment.experiment import Experiment
 from repro.results import InferenceResult
 
 #: Key identifying one sweep point: (design point, model name, batch size).
@@ -32,6 +32,16 @@ class SweepResult:
 
     def get(self, design_point: str, model_name: str, batch_size: int) -> InferenceResult:
         key = (design_point, model_name, batch_size)
+        if key not in self.results:
+            # Accept registry names ("cpu") for points stored under their
+            # paper label ("CPU-only"), mirroring ExperimentResult lookups.
+            try:
+                from repro.backends.registry import backend_registration
+
+                label = backend_registration(design_point).design_point
+            except ConfigurationError:
+                label = design_point
+            key = (label, model_name, batch_size)
         if key not in self.results:
             raise KeyError(f"no sweep result for {key}")
         return self.results[key]
@@ -57,13 +67,18 @@ class SweepResult:
 
 
 class DesignPointSweep:
-    """Runs the three design points over models x batch sizes.
+    """Runs the registered design points over models x batch sizes.
+
+    Deprecated shim: delegates to :class:`repro.experiment.Experiment`, so
+    every point it produces is shared with the figure functions through the
+    process-wide result cache.
 
     Args:
         system: Hardware configuration bundle shared by all design points.
         models: DLRM configurations to evaluate (defaults to Table I).
         batch_sizes: Input batch sizes (defaults to the paper's 1-128 sweep).
-        design_points: Subset of design points to run.
+        design_points: Subset of design points to run; accepts the paper
+            labels (``"CPU-only"``) and registry names (``"cpu"``) alike.
     """
 
     def __init__(
@@ -80,28 +95,27 @@ class DesignPointSweep:
             raise SimulationError("sweep needs at least one model")
         if not self.batch_sizes:
             raise SimulationError("sweep needs at least one batch size")
-        unknown = set(design_points) - {"CPU-only", "CPU-GPU", "Centaur"}
+        unknown = []
+        backend_names = []
+        for design_point in design_points:
+            try:
+                backend_names.append(canonical_backend_name(design_point))
+            except ConfigurationError:
+                unknown.append(design_point)
         if unknown:
             raise SimulationError(f"unknown design points: {sorted(unknown)}")
         self.design_points = tuple(design_points)
-        self._runners = {}
-        if "CPU-only" in self.design_points:
-            self._runners["CPU-only"] = CPUOnlyRunner(system)
-        if "CPU-GPU" in self.design_points:
-            self._runners["CPU-GPU"] = CPUGPURunner(system)
-        if "Centaur" in self.design_points:
-            self._runners["Centaur"] = CentaurRunner(system)
+        self._experiment = (
+            Experiment(system)
+            .backends(*backend_names)
+            .models(self.models)
+            .batch_sizes(self.batch_sizes)
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> SweepResult:
         """Run every combination and return the collected results."""
-        sweep = SweepResult()
-        for model in self.models:
-            for batch_size in self.batch_sizes:
-                for design_point in self.design_points:
-                    runner = self._runners[design_point]
-                    sweep.add(runner.run(model, batch_size))
-        return sweep
+        return self._experiment.run().to_sweep_result()
 
     def model_by_name(self, name: str) -> DLRMConfig:
         for model in self.models:

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.config.models import DLRMConfig
 from repro.config.presets import PAPER_MODELS
 from repro.config.system import FPGAConfig, PowerConfig
+from repro.errors import ConfigurationError
 from repro.core.resources import FPGAResourceModel, ModuleResources
 from repro.power.models import PowerModel
 
@@ -153,11 +154,17 @@ def table3_module_resources(fpga: Optional[FPGAConfig] = None) -> List[Table3Row
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class Table4Row:
-    """One design-point column of Table IV."""
+    """One design-point column of Table IV.
+
+    ``backend`` carries the registry name of the design point (when one is
+    registered), tying the power table to the backend registry the rest of
+    the evaluation addresses devices by.
+    """
 
     design_point: str
     watts: float
     paper_watts: float
+    backend: Optional[str] = None
 
 
 PAPER_TABLE4: Dict[str, float] = {"CPU-only": 80.0, "CPU-GPU": 147.0, "Centaur": 74.0}
@@ -165,14 +172,21 @@ PAPER_TABLE4: Dict[str, float] = {"CPU-only": 80.0, "CPU-GPU": 147.0, "Centaur":
 
 def table4_power(power: Optional[PowerConfig] = None) -> List[Table4Row]:
     """Reproduce Table IV (the CPU-GPU column is the sum of CPU and GPU power)."""
+    from repro.backends.registry import canonical_backend_name
+
     model = PowerModel(power if power is not None else PowerConfig())
     rows = []
     for design_point, watts in model.table4().items():
+        try:
+            backend = canonical_backend_name(design_point)
+        except ConfigurationError:
+            backend = None
         rows.append(
             Table4Row(
                 design_point=design_point,
                 watts=watts,
                 paper_watts=PAPER_TABLE4[design_point],
+                backend=backend,
             )
         )
     return rows

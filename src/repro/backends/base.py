@@ -1,0 +1,75 @@
+"""The :class:`Backend` protocol and capability flags.
+
+A *backend* is anything that can price one inference batch on one device:
+the CPU-only baseline, the CPU-GPU design point, Centaur, and any future
+device variant.  The protocol is the contract between the device models and
+every layer above them (experiments, figures, serving clusters, the CLI):
+code written against it never needs to know which concrete runner class is
+behind a registry name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Tuple, runtime_checkable
+
+from repro.config.models import DLRMConfig
+from repro.results import InferenceResult
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do beyond pricing a batch.
+
+    Attributes:
+        reports_embedding_throughput: The backend attaches an embedding
+            traffic profile, so Figure 7/13-style effective gather
+            throughput can be read off its results.
+        reports_mlp_traffic: The backend attaches an MLP cache/traffic
+            profile (needed by the Figure 6 MPKI comparison).
+        uses_accelerator: An attached device (GPU or FPGA) executes part of
+            the model.
+        offloads_embeddings: Embedding gathers run outside the CPU cores
+            (Centaur's EB-Streamer), not just the dense layers.
+        stages: Latency-breakdown stage names this backend emits, in
+            render order.
+    """
+
+    reports_embedding_throughput: bool = False
+    reports_mlp_traffic: bool = False
+    uses_accelerator: bool = False
+    offloads_embeddings: bool = False
+    stages: Tuple[str, ...] = ()
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One device design point, addressable by its registry name.
+
+    Implementations must be deterministic: two calls of :meth:`run` with the
+    same ``(model, batch_size)`` must return equal results, which is what
+    lets :class:`repro.experiment.ResultCache` memoize design points.
+    """
+
+    @property
+    def name(self) -> str:
+        """Registry key of this backend (e.g. ``"cpu"``, ``"centaur"``)."""
+        ...
+
+    @property
+    def design_point(self) -> str:
+        """Paper-facing label (e.g. ``"CPU-only"``, ``"Centaur"``)."""
+        ...
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """Feature flags describing what this backend reports."""
+        ...
+
+    def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult:
+        """Price one inference batch end to end."""
+        ...
+
+    def energy(self, model: DLRMConfig, batch_size: int) -> float:
+        """Energy in joules of one batch (power x latency)."""
+        ...

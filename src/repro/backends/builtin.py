@@ -1,0 +1,40 @@
+"""Registrations for the paper's three design points.
+
+Imported lazily by the registry on first lookup.  Each factory is simply
+the runner class itself: all three take the :class:`SystemConfig` as their
+first positional argument and carry their own calibrated defaults.
+"""
+
+from __future__ import annotations
+
+from repro.backends.registry import register_backend
+from repro.core.centaur import CENTAUR_CAPABILITIES, CentaurRunner
+from repro.cpu.cpu_runner import CPU_CAPABILITIES, CPUOnlyRunner
+from repro.gpu.gpu_runner import CPU_GPU_CAPABILITIES, CPUGPURunner
+
+register_backend(
+    "cpu",
+    CPUOnlyRunner,
+    design_point="CPU-only",
+    description="CPU-only baseline (Broadwell Xeon, all layers in software)",
+    aliases=("cpu-only", "cpuonly"),
+    capabilities=CPU_CAPABILITIES,
+)
+
+register_backend(
+    "cpu-gpu",
+    CPUGPURunner,
+    design_point="CPU-GPU",
+    description="CPU gathers + discrete GPU dense layers over PCIe (DGX-1 V100)",
+    aliases=("cpugpu", "gpu"),
+    capabilities=CPU_GPU_CAPABILITIES,
+)
+
+register_backend(
+    "centaur",
+    CentaurRunner,
+    design_point="Centaur",
+    description="Chiplet FPGA accelerator: EB-Streamer gathers + dense complex",
+    aliases=("fpga",),
+    capabilities=CENTAUR_CAPABILITIES,
+)

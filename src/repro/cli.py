@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``repro list-backends`` — the registered devices and their capabilities.
+* ``repro run --backend centaur --model DLRM3 --batch 64`` — price one
+  design point and print its latency/energy summary.
+* ``repro sweep --backends cpu centaur --models DLRM1 DLRM4 --batches 1 64``
+  — run an experiment grid and print (or export) the results.
+
+Models accept Table I shorthand: ``DLRM3``, ``DLRM(3)`` and ``3`` all name
+the third configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.backends import available_backends, backend_registration, get_backend
+from repro.config.models import DLRMConfig
+from repro.config.presets import HARPV2_SYSTEM, PAPER_BATCH_SIZES, PAPER_MODELS, dlrm_preset
+from repro.errors import ReproError
+from repro.experiment import Experiment
+from repro.utils.tables import TextTable
+from repro.utils.units import seconds_to_human
+
+
+def parse_model(which: str) -> DLRMConfig:
+    """Resolve ``DLRM3`` / ``DLRM(3)`` / ``3`` to a Table I preset."""
+    text = which.strip()
+    candidate = text.upper().replace("DLRM", "").strip("()")
+    if candidate.isdigit():
+        return dlrm_preset(int(candidate))
+    return dlrm_preset(text)
+
+
+def _cmd_list_backends(args: argparse.Namespace) -> int:
+    table = TextTable(
+        ["name", "design point", "accelerator", "offloads EMB", "description"],
+        title="Registered backends",
+    )
+    for name in available_backends():
+        registration = backend_registration(name)
+        capabilities = registration.capabilities
+        table.add_row(
+            [
+                name,
+                registration.design_point,
+                "yes" if capabilities.uses_accelerator else "no",
+                "yes" if capabilities.offloads_embeddings else "no",
+                registration.description,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    model = parse_model(args.model)
+    backend = get_backend(args.backend, HARPV2_SYSTEM)
+    result = backend.run(model, args.batch)
+
+    print(
+        f"{result.design_point} | {result.model_name} | batch {result.batch_size}"
+    )
+    table = TextTable(["stage", "latency", "share %"], title="Latency breakdown")
+    for stage, seconds in result.breakdown.stages.items():
+        table.add_row(
+            [stage, seconds_to_human(seconds), 100.0 * result.breakdown.fraction(stage)]
+        )
+    print(table.render())
+    print(f"end-to-end latency : {seconds_to_human(result.latency_seconds)}")
+    print(f"throughput         : {result.throughput_samples_per_second:,.0f} samples/s")
+    print(f"power              : {result.power_watts:.1f} W")
+    print(f"energy / batch     : {result.energy_joules * 1e3:.3f} mJ")
+    print(f"energy / sample    : {result.energy_per_sample_joules * 1e3:.3f} mJ")
+    if args.baseline:
+        baseline = get_backend(args.baseline, HARPV2_SYSTEM).run(model, args.batch)
+        print(
+            f"vs {baseline.design_point:<15}: "
+            f"{result.speedup_over(baseline):.2f}x speedup, "
+            f"{result.energy_efficiency_over(baseline):.2f}x energy efficiency"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    backends = args.backends if args.backends else list(available_backends())
+    models = (
+        tuple(parse_model(name) for name in args.models)
+        if args.models
+        else PAPER_MODELS
+    )
+    batches = tuple(args.batches) if args.batches else PAPER_BATCH_SIZES
+    grid = (
+        Experiment(HARPV2_SYSTEM)
+        .backends(*backends)
+        .models(models)
+        .batch_sizes(batches)
+        .run()
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(grid.to_csv())
+        print(f"wrote {len(grid)} design points to {args.csv}")
+        return 0
+    from repro.analysis.report import render_experiment
+
+    print(render_experiment(grid))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Centaur reproduction: backends, experiments and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-backends", help="list registered device backends"
+    )
+    list_parser.set_defaults(handler=_cmd_list_backends)
+
+    run_parser = subparsers.add_parser(
+        "run", help="price one (backend, model, batch) design point"
+    )
+    run_parser.add_argument("--backend", required=True, help="registry name, e.g. centaur")
+    run_parser.add_argument("--model", required=True, help="Table I model, e.g. DLRM3")
+    run_parser.add_argument("--batch", type=int, default=64, help="batch size (default 64)")
+    run_parser.add_argument(
+        "--baseline",
+        default="cpu",
+        help="backend to compare against (default cpu; empty string disables)",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an experiment grid over backends x models x batches"
+    )
+    sweep_parser.add_argument(
+        "--backends", nargs="+", default=None, help="registry names (default: all)"
+    )
+    sweep_parser.add_argument(
+        "--models", nargs="+", default=None, help="Table I models (default: all six)"
+    )
+    sweep_parser.add_argument(
+        "--batches", nargs="+", type=int, default=None, help="batch sizes (default: 1-128)"
+    )
+    sweep_parser.add_argument("--csv", default=None, help="write the grid to a CSV file")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.handler(args)
+    except (ReproError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.backends.base import BackendCapabilities
 from repro.config.models import DLRMConfig
 from repro.config.system import SystemConfig
 from repro.core.dense_complex import DenseAcceleratorComplex
@@ -125,9 +126,23 @@ class CentaurDevice:
         return self.infer(batch).probabilities
 
 
+#: What the Centaur backend reports (registered as ``"centaur"``).
+CENTAUR_CAPABILITIES = BackendCapabilities(
+    reports_embedding_throughput=True,
+    reports_mlp_traffic=False,
+    uses_accelerator=True,
+    offloads_embeddings=True,
+    stages=("IDX", "EMB", "DNF", "MLP", "Other"),
+)
+
+
 @dataclass
 class CentaurRunner:
     """Performance model of Centaur producing :class:`InferenceResult`.
+
+    Deprecated as a direct entry point: prefer
+    ``repro.backends.get_backend("centaur", system)``, which resolves this
+    class through the backend registry.
 
     Attributes:
         system: Hardware configuration bundle.
@@ -154,8 +169,21 @@ class CentaurRunner:
 
     # ------------------------------------------------------------------
     @property
+    def name(self) -> str:
+        """Backend-registry key of this design point."""
+        return "centaur"
+
+    @property
     def design_point(self) -> str:
         return "Centaur"
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return CENTAUR_CAPABILITIES
+
+    def energy(self, model: DLRMConfig, batch_size: int) -> float:
+        """Energy in joules of one batch (power x latency)."""
+        return self.run(model, batch_size).energy_joules
 
     def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult:
         """Model one inference batch end to end on Centaur."""

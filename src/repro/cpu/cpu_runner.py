@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.backends.base import BackendCapabilities
 from repro.config.models import DLRMConfig
 from repro.config.system import SystemConfig
 from repro.cpu.embedding_exec import EmbeddingExecutionModel
@@ -13,10 +14,23 @@ from repro.errors import SimulationError
 from repro.memsys.analytic import MLPAccessProfile
 from repro.results import InferenceResult, LatencyBreakdown
 
+#: What the CPU-only backend reports (registered as ``"cpu"``).
+CPU_CAPABILITIES = BackendCapabilities(
+    reports_embedding_throughput=True,
+    reports_mlp_traffic=True,
+    uses_accelerator=False,
+    offloads_embeddings=False,
+    stages=("EMB", "MLP", "Other"),
+)
+
 
 @dataclass
 class CPUOnlyRunner:
     """Produces :class:`~repro.results.InferenceResult` for the CPU-only system.
+
+    Deprecated as a direct entry point: prefer
+    ``repro.backends.get_backend("cpu", system)``, which resolves this class
+    through the backend registry.
 
     Attributes:
         system: Hardware configuration bundle (only the CPU, memory and power
@@ -48,8 +62,21 @@ class CPUOnlyRunner:
 
     # ------------------------------------------------------------------
     @property
+    def name(self) -> str:
+        """Backend-registry key of this design point."""
+        return "cpu"
+
+    @property
     def design_point(self) -> str:
         return "CPU-only"
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return CPU_CAPABILITIES
+
+    def energy(self, model: DLRMConfig, batch_size: int) -> float:
+        """Energy in joules of one batch (power x latency)."""
+        return self.run(model, batch_size).energy_joules
 
     def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult:
         """Model one inference batch end to end on the CPU-only system."""

@@ -1,0 +1,36 @@
+"""Declarative experiment layer: grids, result queries and memoization.
+
+The public surface is :class:`Experiment` (fluent grid builder),
+:class:`ExperimentResult` (queryable grid), and :class:`ResultCache` (the
+memoization layer keyed on backend/model/batch/system fingerprints).
+"""
+
+from repro.experiment.cache import (
+    ResultCache,
+    default_cache,
+    model_fingerprint,
+    override_default_cache,
+    set_default_cache,
+    system_fingerprint,
+)
+from repro.experiment.experiment import (
+    Experiment,
+    ExperimentKey,
+    ExperimentResult,
+    VariantSweep,
+    run_grid,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentKey",
+    "ExperimentResult",
+    "ResultCache",
+    "VariantSweep",
+    "default_cache",
+    "model_fingerprint",
+    "override_default_cache",
+    "run_grid",
+    "set_default_cache",
+    "system_fingerprint",
+]

@@ -1,0 +1,198 @@
+"""Memoizing result cache keyed on (backend, model, batch, system).
+
+Every design point in the evaluation grid is a pure function of those four
+coordinates, so the figures and tables that slice the same grid can share
+one :class:`ResultCache` and compute each point exactly once.  A
+process-wide default cache backs :class:`repro.experiment.Experiment`
+unless a caller supplies (or disables) its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.backends.base import Backend
+from repro.config.models import DLRMConfig
+from repro.config.system import SystemConfig
+from repro.errors import SimulationError
+from repro.results import InferenceResult
+
+#: One memoized design point: (backend name, model fingerprint, batch, system fingerprint).
+CacheKey = Tuple[str, str, int, str]
+
+_FINGERPRINT_MEMO: Dict[object, str] = {}
+
+
+def _fingerprint_dataclass(value) -> str:
+    """Stable short hash of a (nested) frozen configuration dataclass.
+
+    Memoized by value (frozen dataclasses hash on their fields), so equal
+    configurations share one digest computation.
+    """
+    cached = _FINGERPRINT_MEMO.get(value)
+    if cached is not None:
+        return cached
+    payload = repr(dataclasses.asdict(value)).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    _FINGERPRINT_MEMO[value] = digest
+    return digest
+
+
+def system_fingerprint(system: SystemConfig) -> str:
+    """Deterministic digest of every calibration constant in a platform.
+
+    Two :class:`SystemConfig` instances with equal fields share a
+    fingerprint, so a cache survives re-constructing the same platform;
+    changing any constant (e.g. the link-bandwidth ablation) yields a new
+    fingerprint and therefore fresh design points.
+    """
+    return _fingerprint_dataclass(system)
+
+
+def model_fingerprint(model: DLRMConfig) -> str:
+    """Deterministic digest of a model configuration.
+
+    The name alone is not sufficient — sweeps synthesize model variants —
+    so the digest covers the full table/MLP shape.
+    """
+    return f"{model.name}#{_fingerprint_dataclass(model)}"
+
+
+class ResultCache:
+    """Memoizes :class:`InferenceResult` objects across experiments.
+
+    Tracks hit/miss/compute counters so tests (and the benchmark harness)
+    can assert that a full figure regeneration computes each unique design
+    point exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[CacheKey, InferenceResult] = {}
+        self._compute_counts: Dict[CacheKey, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(
+        backend_name: str, model: DLRMConfig, batch_size: int, system: SystemConfig
+    ) -> CacheKey:
+        """The cache coordinate of one design point."""
+        return (
+            backend_name,
+            model_fingerprint(model),
+            int(batch_size),
+            system_fingerprint(system),
+        )
+
+    def get_or_compute(
+        self,
+        backend: Backend,
+        model: DLRMConfig,
+        batch_size: int,
+        system: SystemConfig,
+        *,
+        backend_name: Optional[str] = None,
+    ) -> InferenceResult:
+        """Return the memoized result, computing it on first request.
+
+        The returned object is shared by every caller of the same key (that
+        sharing is the point of the cache) — treat it as immutable; in
+        particular do not mutate ``result.extra``.
+        """
+        name = backend_name if backend_name is not None else backend.name
+        key = self.key(name, model, batch_size, system)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        self._compute_counts[key] = self._compute_counts.get(key, 0) + 1
+        result = backend.run(model, batch_size)
+        self._entries[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def compute_counts(self) -> Dict[CacheKey, int]:
+        """How many times each design point was actually computed."""
+        return dict(self._compute_counts)
+
+    def max_compute_count(self) -> int:
+        """The worst duplication across all keys (1 = perfectly memoized)."""
+        return max(self._compute_counts.values(), default=0)
+
+    def clear(self) -> None:
+        """Drop all entries and counters."""
+        self._entries.clear()
+        self._compute_counts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Persist all entries as JSON (keys + serialized results)."""
+        payload = [
+            {"key": list(key), "result": result.to_dict()}
+            for key, result in self._entries.items()
+        ]
+        pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "ResultCache":
+        """Rebuild a cache persisted by :meth:`save` (counters start fresh)."""
+        raw = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        cache = cls()
+        for entry in raw:
+            key = entry["key"]
+            if len(key) != 4:
+                raise SimulationError(f"malformed cache key {key!r}")
+            cache._entries[(key[0], key[1], int(key[2]), key[3])] = (
+                InferenceResult.from_dict(entry["result"])
+            )
+        return cache
+
+
+#: Process-wide cache shared by every Experiment that does not override it.
+_DEFAULT_CACHE = ResultCache()
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache used by :class:`Experiment` by default."""
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: ResultCache) -> ResultCache:
+    """Replace the process-wide cache; returns the previous one."""
+    global _DEFAULT_CACHE
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous
+
+
+@contextmanager
+def override_default_cache(cache: Optional[ResultCache] = None) -> Iterator[ResultCache]:
+    """Temporarily swap the process-wide cache (fresh one by default).
+
+    Lets tests measure cache effectiveness in isolation::
+
+        with override_default_cache() as cache:
+            figure14_centaur_breakdown(system)
+            assert cache.max_compute_count() == 1
+    """
+    replacement = cache if cache is not None else ResultCache()
+    previous = set_default_cache(replacement)
+    try:
+        yield replacement
+    finally:
+        set_default_cache(previous)

@@ -1,0 +1,400 @@
+"""Declarative experiment grids over registered backends.
+
+:class:`Experiment` is the single entry point for "run these backends over
+these models at these batch sizes": the figure functions, the sensitivity
+sweeps, the benchmarks, the CLI and the examples all build their grids here
+instead of constructing runners by hand.  Results come back as a queryable
+:class:`ExperimentResult`, and every design point is memoized in a shared
+:class:`~repro.experiment.cache.ResultCache` so regenerating all paper
+figures computes each ``(backend, model, batch, system)`` point exactly
+once.
+
+Usage::
+
+    from repro.experiment import Experiment
+
+    result = (
+        Experiment(HARPV2_SYSTEM)
+        .backends("cpu", "centaur")
+        .models(PAPER_MODELS)
+        .batch_sizes(PAPER_BATCH_SIZES)
+        .run()
+    )
+    centaur = result.get("centaur", "DLRM(3)", 64)
+    table = result.pivot(value="latency_seconds", backend="centaur")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.backends.registry import (
+    available_backends,
+    canonical_backend_name,
+    get_backend,
+)
+from repro.config.models import DLRMConfig
+from repro.config.presets import PAPER_BATCH_SIZES, PAPER_MODELS
+from repro.config.system import SystemConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiment.cache import ResultCache, default_cache, system_fingerprint
+from repro.results import InferenceResult
+
+#: Key identifying one experiment point: (backend name, model name, batch size).
+ExperimentKey = Tuple[str, str, int]
+
+#: A value extractor for pivots: attribute/property name or callable.
+ValueSpec = Union[str, Callable[[InferenceResult], float]]
+
+#: Sentinel distinguishing "use the process default cache" from "no cache".
+_USE_DEFAULT_CACHE = object()
+
+
+def _extract(result: InferenceResult, value: ValueSpec) -> float:
+    if callable(value):
+        return value(result)
+    attr = getattr(result, value)
+    return attr
+
+
+class ExperimentResult:
+    """All inference results of one experiment grid, queryable by key.
+
+    Lookups accept canonical backend names, their aliases, *and* the paper's
+    design-point labels, so ``get("centaur", ...)`` and
+    ``get("Centaur", ...)`` address the same point.
+    """
+
+    def __init__(self, system: SystemConfig):
+        self.system = system
+        self._results: Dict[ExperimentKey, InferenceResult] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, backend_name: str, result: InferenceResult) -> None:
+        """Record one design point under its canonical backend name."""
+        key = (backend_name, result.model_name, result.batch_size)
+        self._results[key] = result
+
+    def _backend_key(self, backend: str) -> str:
+        try:
+            return canonical_backend_name(backend)
+        except ConfigurationError:
+            # Results from since-unregistered (ad-hoc) backends stay
+            # addressable by their stored key; anything else is a typo and
+            # must fail loudly rather than match nothing.
+            stored = {key for key, _, _ in self._results}
+            if backend in stored:
+                return backend
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; this grid holds: "
+                f"{', '.join(sorted(stored)) or '(empty)'}"
+            )
+
+    def get(self, backend: str, model_name: str, batch_size: int) -> InferenceResult:
+        """The result of one (backend, model, batch) point."""
+        key = (self._backend_key(backend), model_name, int(batch_size))
+        if key not in self._results:
+            raise KeyError(f"no experiment result for {key}")
+        return self._results[key]
+
+    def filter(
+        self,
+        backend: Optional[str] = None,
+        model_name: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[InferenceResult]:
+        """All results matching the given coordinates, in insertion order."""
+        backend_key = self._backend_key(backend) if backend is not None else None
+        matches = []
+        for (b, m, s), result in self._results.items():
+            if backend_key is not None and b != backend_key:
+                continue
+            if model_name is not None and m != model_name:
+                continue
+            if batch_size is not None and s != int(batch_size):
+                continue
+            matches.append(result)
+        return matches
+
+    # ------------------------------------------------------------------
+    def backends(self) -> List[str]:
+        """Canonical backend names present, in insertion order."""
+        seen: List[str] = []
+        for backend, _, _ in self._results:
+            if backend not in seen:
+                seen.append(backend)
+        return seen
+
+    def model_names(self) -> List[str]:
+        """Model names present, in insertion order."""
+        seen: List[str] = []
+        for _, model_name, _ in self._results:
+            if model_name not in seen:
+                seen.append(model_name)
+        return seen
+
+    def batch_sizes(self) -> List[int]:
+        """Batch sizes present, sorted."""
+        return sorted({batch for _, _, batch in self._results})
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self):
+        return iter(self._results.items())
+
+    # ------------------------------------------------------------------
+    def pivot(
+        self,
+        value: ValueSpec = "latency_seconds",
+        backend: Optional[str] = None,
+    ) -> Dict[object, Dict[int, float]]:
+        """Model x batch-size table of one metric.
+
+        Args:
+            value: Attribute/property name of :class:`InferenceResult`
+                (e.g. ``"latency_seconds"``, ``"energy_joules"``) or a
+                callable mapping a result to a number.
+            backend: Restrict to one backend; with several backends present
+                and no restriction, row keys become ``(backend, model)``
+                pairs.
+
+        Returns:
+            ``{row_key: {batch_size: value}}``.
+        """
+        backend_key = self._backend_key(backend) if backend is not None else None
+        multi_backend = backend is None and len(self.backends()) > 1
+        table: Dict[object, Dict[int, float]] = {}
+        for (b, model_name, batch), result in self._results.items():
+            if backend_key is not None and b != backend_key:
+                continue
+            row_key = (b, model_name) if multi_backend else model_name
+            table.setdefault(row_key, {})[batch] = _extract(result, value)
+        return table
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the whole grid (JSON-compatible)."""
+        return {
+            "system_fingerprint": system_fingerprint(self.system),
+            "results": [
+                {"backend": backend, "result": result.to_dict()}
+                for (backend, _, _), result in self._results.items()
+            ],
+        }
+
+    def to_csv(self) -> str:
+        """Render the grid as CSV (one row per design point)."""
+        stages: List[str] = []
+        for result in self._results.values():
+            for stage in result.breakdown.stages:
+                if stage not in stages:
+                    stages.append(stage)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            [
+                "backend",
+                "design_point",
+                "model",
+                "batch_size",
+                "latency_s",
+                "throughput_sps",
+                "power_w",
+                "energy_j",
+            ]
+            + [f"{stage.lower()}_s" for stage in stages]
+        )
+        for (backend, _, _), result in self._results.items():
+            writer.writerow(
+                [
+                    backend,
+                    result.design_point,
+                    result.model_name,
+                    result.batch_size,
+                    repr(result.latency_seconds),
+                    repr(result.throughput_samples_per_second),
+                    repr(result.power_watts),
+                    repr(result.energy_joules),
+                ]
+                + [repr(result.breakdown.get(stage)) for stage in stages]
+            )
+        return buffer.getvalue()
+
+    def to_sweep_result(self):
+        """Legacy view keyed by design-point label (``SweepResult``)."""
+        from repro.analysis.sweep import SweepResult
+
+        sweep = SweepResult()
+        for result in self._results.values():
+            sweep.add(result)
+        return sweep
+
+
+class Experiment:
+    """Fluent builder for a (backends x models x batch sizes) grid.
+
+    Args:
+        system: Hardware platform shared by every backend in the grid.
+        cache: Result cache; defaults to the process-wide shared cache.
+            Pass ``None`` to disable memoization for this experiment.
+
+    The builder methods mutate and return ``self`` so grids read as one
+    chained expression; defaults reproduce the paper's full evaluation grid
+    (all registered backends, Table I models, batch sizes 1-128).
+    """
+
+    def __init__(self, system: SystemConfig, cache=_USE_DEFAULT_CACHE):
+        self.system = system
+        self._cache = cache
+        self._backend_names: Optional[Tuple[str, ...]] = None
+        self._models: Tuple[DLRMConfig, ...] = PAPER_MODELS
+        self._batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES
+
+    # ------------------------------------------------------------------
+    def backends(self, *names: str) -> "Experiment":
+        """Select backends by registry name/alias (order preserved)."""
+        if len(names) == 1 and not isinstance(names[0], str):
+            names = tuple(names[0])  # accept a single iterable, too
+        canonical = tuple(canonical_backend_name(name) for name in names)
+        if not canonical:
+            raise SimulationError("an experiment needs at least one backend")
+        self._backend_names = canonical
+        return self
+
+    def models(self, *models) -> "Experiment":
+        """Select the model configurations of the grid.
+
+        Raises:
+            SimulationError: When two *different* configurations share a
+                name — results are addressed by model name, so such a grid
+                would silently collapse the two onto one point.
+        """
+        if len(models) == 1 and isinstance(models[0], (list, tuple)):
+            models = tuple(models[0])
+        if not models:
+            raise SimulationError("an experiment needs at least one model")
+        by_name: Dict[str, DLRMConfig] = {}
+        for model in models:
+            existing = by_name.get(model.name)
+            if existing is not None and existing != model:
+                raise SimulationError(
+                    f"two different model configurations share the name "
+                    f"{model.name!r}; rename one so grid points stay distinct"
+                )
+            by_name[model.name] = model
+        self._models = tuple(models)
+        return self
+
+    def batch_sizes(self, *sizes) -> "Experiment":
+        """Select the input batch sizes of the grid."""
+        if len(sizes) == 1 and isinstance(sizes[0], (list, tuple)):
+            sizes = tuple(sizes[0])
+        if not sizes:
+            raise SimulationError("an experiment needs at least one batch size")
+        for size in sizes:
+            if int(size) <= 0:
+                raise SimulationError(f"batch sizes must be positive, got {size}")
+        self._batch_sizes = tuple(int(size) for size in sizes)
+        return self
+
+    def cache(self, cache: Optional[ResultCache]) -> "Experiment":
+        """Use a specific cache (or ``None`` to disable memoization)."""
+        self._cache = cache
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def backend_names(self) -> Tuple[str, ...]:
+        """The grid's backends (defaults to every registered backend)."""
+        if self._backend_names is not None:
+            return self._backend_names
+        return available_backends()
+
+    @property
+    def grid_models(self) -> Tuple[DLRMConfig, ...]:
+        return self._models
+
+    @property
+    def grid_batch_sizes(self) -> Tuple[int, ...]:
+        return self._batch_sizes
+
+    def _resolve_cache(self) -> Optional[ResultCache]:
+        if self._cache is _USE_DEFAULT_CACHE:
+            return default_cache()
+        return self._cache
+
+    def run(self) -> ExperimentResult:
+        """Evaluate the grid and return the collected results.
+
+        Design points already in the cache are returned without touching
+        the device models; everything else is computed once and memoized.
+        """
+        cache = self._resolve_cache()
+        backends = {
+            name: get_backend(name, self.system) for name in self.backend_names
+        }
+        outcome = ExperimentResult(self.system)
+        for model in self._models:
+            for batch_size in self._batch_sizes:
+                for name, backend in backends.items():
+                    if cache is not None:
+                        result = cache.get_or_compute(
+                            backend, model, batch_size, self.system, backend_name=name
+                        )
+                    else:
+                        result = backend.run(model, batch_size)
+                    outcome.add(name, result)
+        return outcome
+
+
+class VariantSweep:
+    """A grid over synthesized model variants, addressable by sweep value.
+
+    The lookup sweeps (Figures 7b/13b) and the sensitivity studies all
+    follow one pattern: synthesize one model variant per sweep value, run a
+    backend grid over the variants, then read results back per value.  This
+    helper owns that pattern — callers provide ``{sweep value: model}`` and
+    query ``result(value, backend, batch_size)``.  The grid runs through
+    :class:`Experiment`, so variants share the process-wide result cache.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        backends: Sequence[str],
+        variants,
+        batch_sizes: Iterable[int],
+        cache=_USE_DEFAULT_CACHE,
+    ):
+        self.variants: Dict[object, DLRMConfig] = dict(variants)
+        if not self.variants:
+            raise SimulationError("a variant sweep needs at least one variant")
+        self.grid = (
+            Experiment(system, cache=cache)
+            .backends(*backends)
+            .models(tuple(self.variants.values()))
+            .batch_sizes(tuple(batch_sizes))
+            .run()
+        )
+
+    def model(self, value) -> DLRMConfig:
+        """The synthesized model variant of one sweep value."""
+        return self.variants[value]
+
+    def result(self, value, backend: str, batch_size: int) -> InferenceResult:
+        """The inference result of one (sweep value, backend, batch) point."""
+        return self.grid.get(backend, self.variants[value].name, batch_size)
+
+
+def run_grid(
+    system: SystemConfig,
+    backends: Sequence[str],
+    models: Iterable[DLRMConfig],
+    batch_sizes: Iterable[int],
+    cache=_USE_DEFAULT_CACHE,
+) -> ExperimentResult:
+    """One-call convenience wrapper around the :class:`Experiment` builder."""
+    experiment = Experiment(system, cache=cache).backends(*backends)
+    return experiment.models(tuple(models)).batch_sizes(tuple(batch_sizes)).run()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backends.base import BackendCapabilities
 from repro.config.models import DLRMConfig
 from repro.config.system import SystemConfig
 from repro.cpu.embedding_exec import EmbeddingExecutionModel
@@ -21,10 +22,24 @@ from repro.gpu.pcie import PCIeLink
 from repro.memsys.analytic import MLPAccessProfile
 from repro.results import InferenceResult, LatencyBreakdown
 
+#: What the CPU-GPU backend reports (registered as ``"cpu-gpu"``).
+CPU_GPU_CAPABILITIES = BackendCapabilities(
+    reports_embedding_throughput=True,
+    reports_mlp_traffic=True,
+    uses_accelerator=True,
+    offloads_embeddings=False,
+    stages=("EMB", "PCIe", "MLP", "Other"),
+)
+
 
 @dataclass
 class CPUGPURunner:
-    """Produces :class:`~repro.results.InferenceResult` for the CPU-GPU system."""
+    """Produces :class:`~repro.results.InferenceResult` for the CPU-GPU system.
+
+    Deprecated as a direct entry point: prefer
+    ``repro.backends.get_backend("cpu-gpu", system)``, which resolves this
+    class through the backend registry.
+    """
 
     system: SystemConfig
     other_fixed_s: float = 14.0e-6
@@ -50,8 +65,21 @@ class CPUGPURunner:
 
     # ------------------------------------------------------------------
     @property
+    def name(self) -> str:
+        """Backend-registry key of this design point."""
+        return "cpu-gpu"
+
+    @property
     def design_point(self) -> str:
         return "CPU-GPU"
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return CPU_GPU_CAPABILITIES
+
+    def energy(self, model: DLRMConfig, batch_size: int) -> float:
+        """Energy in joules of one batch (power x latency)."""
+        return self.run(model, batch_size).energy_joules
 
     def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult:
         """Model one inference batch end to end on the CPU-GPU system."""

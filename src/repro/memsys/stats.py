@@ -46,6 +46,19 @@ class CacheStats:
                 f"!= accesses({self.accesses})"
             )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-compatible)."""
+        return {"accesses": self.accesses, "hits": self.hits, "misses": self.misses}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheStats":
+        """Inverse of :meth:`to_dict`; raises ``KeyError`` on missing fields."""
+        return cls(
+            accesses=int(payload["accesses"]),
+            hits=int(payload["hits"]),
+            misses=int(payload["misses"]),
+        )
+
 
 @dataclass
 class MemoryTrafficStats:
@@ -74,3 +87,22 @@ class MemoryTrafficStats:
     def effective_throughput(self, elapsed_seconds: float) -> float:
         """Useful bytes per second over an elapsed time."""
         return safe_divide(self.useful_bytes, elapsed_seconds)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-compatible)."""
+        return {
+            "useful_bytes": self.useful_bytes,
+            "transferred_bytes": self.transferred_bytes,
+            "llc": self.llc.to_dict(),
+            "instructions": self.instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MemoryTrafficStats":
+        """Inverse of :meth:`to_dict`; raises ``KeyError`` on missing fields."""
+        return cls(
+            useful_bytes=float(payload["useful_bytes"]),
+            transferred_bytes=float(payload["transferred_bytes"]),
+            llc=CacheStats.from_dict(payload["llc"]),
+            instructions=float(payload["instructions"]),
+        )

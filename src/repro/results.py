@@ -67,6 +67,15 @@ class LatencyBreakdown:
             raise SimulationError(f"scale factor must be non-negative, got {factor}")
         return LatencyBreakdown({name: value * factor for name, value in self._stages.items()})
 
+    def to_dict(self) -> Dict[str, float]:
+        """Stage -> seconds mapping (JSON-compatible, insertion ordered)."""
+        return dict(self._stages)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "LatencyBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        return cls(payload)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{name}={value:.3e}" for name, value in self._stages.items())
         return f"LatencyBreakdown({inner})"
@@ -136,6 +145,60 @@ class InferenceResult:
         return safe_divide(self.embedding_traffic.useful_bytes, emb_time)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a plain, JSON-compatible dictionary.
+
+        The inverse, :meth:`from_dict`, reconstructs an equal result; the
+        round trip is exact because no value is rounded or re-derived.  Used
+        by :class:`repro.experiment.ResultCache` persistence and the CLI.
+        """
+        return {
+            "design_point": self.design_point,
+            "model_name": self.model_name,
+            "batch_size": self.batch_size,
+            "breakdown": self.breakdown.to_dict(),
+            "embedding_traffic": (
+                self.embedding_traffic.to_dict()
+                if self.embedding_traffic is not None
+                else None
+            ),
+            "mlp_traffic": (
+                self.mlp_traffic.to_dict() if self.mlp_traffic is not None else None
+            ),
+            "power_watts": self.power_watts,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "InferenceResult":
+        """Rebuild an :class:`InferenceResult` serialized by :meth:`to_dict`.
+
+        Every key :meth:`to_dict` writes is required — a truncated or
+        hand-edited payload raises ``KeyError`` instead of silently zeroing
+        metrics (the traffic profiles are themselves optional and may be
+        ``None``, but their keys must be present).
+        """
+        embedding_traffic = payload["embedding_traffic"]
+        mlp_traffic = payload["mlp_traffic"]
+        return cls(
+            design_point=str(payload["design_point"]),
+            model_name=str(payload["model_name"]),
+            batch_size=int(payload["batch_size"]),  # type: ignore[arg-type]
+            breakdown=LatencyBreakdown.from_dict(payload["breakdown"]),  # type: ignore[arg-type]
+            embedding_traffic=(
+                MemoryTrafficStats.from_dict(embedding_traffic)  # type: ignore[arg-type]
+                if embedding_traffic is not None
+                else None
+            ),
+            mlp_traffic=(
+                MemoryTrafficStats.from_dict(mlp_traffic)  # type: ignore[arg-type]
+                if mlp_traffic is not None
+                else None
+            ),
+            power_watts=float(payload["power_watts"]),  # type: ignore[arg-type]
+            extra=dict(payload["extra"]),  # type: ignore[arg-type]
+        )
+
     def speedup_over(self, baseline: "InferenceResult") -> float:
         """End-to-end speedup of this result relative to ``baseline``."""
         _check_comparable(self, baseline)

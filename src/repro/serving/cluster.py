@@ -19,9 +19,11 @@ Two front-ends share the same core:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.backends.registry import resolve_backend
 from repro.config.models import DLRMConfig
+from repro.config.system import SystemConfig
 from repro.errors import SimulationError
 from repro.serving.batching import BatchingPolicy, default_batching
 from repro.serving.dispatch import Dispatcher, RoundRobinDispatcher
@@ -36,12 +38,14 @@ class ReplicaSpec:
     """One replica in a (possibly heterogeneous) fleet.
 
     Attributes:
-        runner: Design-point runner backing the replica's device.
+        runner: Design-point runner backing the replica's device, or a
+            backend-registry name (``"cpu"``, ``"centaur"``, ...) resolved
+            against the cluster's ``system``.
         batching: Replica-local batching policy; ``None`` inherits the
             cluster default.
     """
 
-    runner: DesignPointRunner
+    runner: Union[DesignPointRunner, str]
     batching: Optional[BatchingPolicy] = None
 
 
@@ -86,11 +90,16 @@ class HeterogeneousCluster:
     """A mixed fleet of serving replicas behind a pluggable dispatcher.
 
     Args:
-        specs: One :class:`ReplicaSpec` (or bare runner) per replica.
+        specs: One :class:`ReplicaSpec` (or bare runner / backend name) per
+            replica.  Backend names are resolved through the registry and
+            shared: replicas naming the same backend run on one device
+            instance (mirroring how a shared runner behaves).
         model: Served DLRM configuration.
         dispatcher: Routing policy; defaults to round-robin.
         batching: Default batching policy for specs that do not set one;
             defaults to a 2 ms window capped at 64.
+        system: Hardware platform used to resolve backend names; required
+            only when a spec names a backend instead of carrying a runner.
     """
 
     def __init__(
@@ -99,14 +108,26 @@ class HeterogeneousCluster:
         model: DLRMConfig,
         dispatcher: Optional[Dispatcher] = None,
         batching: Optional[BatchingPolicy] = None,
+        system: Optional[SystemConfig] = None,
     ):
         if not specs:
             raise SimulationError("a cluster needs at least one replica")
         fallback = batching if batching is not None else default_batching()
+        resolved: dict = {}
         self.specs: List[ReplicaSpec] = []
         for spec in specs:
             if not isinstance(spec, ReplicaSpec):
                 spec = ReplicaSpec(runner=spec)
+            if isinstance(spec.runner, str):
+                if system is None:
+                    raise SimulationError(
+                        f"replica names backend {spec.runner!r} but the cluster "
+                        "was built without a system configuration"
+                    )
+                name = spec.runner
+                if name not in resolved:
+                    resolved[name] = resolve_backend(name, system)
+                spec = ReplicaSpec(runner=resolved[name], batching=spec.batching)
             if spec.batching is None:
                 spec = ReplicaSpec(runner=spec.runner, batching=fallback)
             self.specs.append(spec)
@@ -116,6 +137,32 @@ class HeterogeneousCluster:
         self._caches = {}
         for spec in self.specs:
             self._caches.setdefault(id(spec.runner), {})
+
+    @classmethod
+    def from_backends(
+        cls,
+        backends: Sequence[str],
+        model: DLRMConfig,
+        system: SystemConfig,
+        dispatcher: Optional[Dispatcher] = None,
+        batching: Optional[BatchingPolicy] = None,
+    ) -> "HeterogeneousCluster":
+        """Build a fleet from backend-registry names, one replica per entry.
+
+        Example::
+
+            fleet = HeterogeneousCluster.from_backends(
+                ["cpu", "cpu", "centaur"], DLRM2, HARPV2_SYSTEM,
+                dispatcher=LeastLoadedDispatcher(),
+            )
+        """
+        return cls(
+            list(backends),
+            model,
+            dispatcher=dispatcher,
+            batching=batching,
+            system=system,
+        )
 
     @property
     def num_replicas(self) -> int:
@@ -203,24 +250,35 @@ class ClusterSimulator(HeterogeneousCluster):
 
     Args:
         runner: Design-point runner shared by every replica (they are
-            identical devices).
+            identical devices), or a backend-registry name resolved against
+            ``system``.
         model: Served DLRM configuration.
         num_replicas: Number of devices behind the load balancer.
         batching: Per-replica batching policy (shared configuration).
         dispatcher: Routing policy; defaults to round-robin (the legacy
             behaviour).
+        system: Hardware platform; required only when ``runner`` is a
+            backend name.
     """
 
     def __init__(
         self,
-        runner: DesignPointRunner,
+        runner: Union[DesignPointRunner, str],
         model: DLRMConfig,
         num_replicas: int,
         batching: Optional[BatchingPolicy] = None,
         dispatcher: Optional[Dispatcher] = None,
+        system: Optional[SystemConfig] = None,
     ):
         if num_replicas <= 0:
             raise SimulationError(f"num_replicas must be positive, got {num_replicas}")
+        if isinstance(runner, str):
+            if system is None:
+                raise SimulationError(
+                    f"runner names backend {runner!r} but the cluster was built "
+                    "without a system configuration"
+                )
+            runner = resolve_backend(runner, system)
         super().__init__(
             [ReplicaSpec(runner=runner) for _ in range(num_replicas)],
             model,

@@ -1,0 +1,178 @@
+"""Tests for the memoizing ResultCache and its cache-effectiveness guarantee."""
+
+import pytest
+
+from repro.analysis import (
+    ablation_link_bandwidth,
+    figure5_latency_breakdown,
+    figure6_cache_behaviour,
+    figure7_effective_throughput,
+    figure13_centaur_throughput,
+    figure14_centaur_breakdown,
+    figure15_comparison,
+    headline_summary,
+)
+from repro.backends import get_backend
+from repro.config import DLRM1, DLRM2, HARPV2_SYSTEM
+from repro.experiment import (
+    Experiment,
+    ResultCache,
+    default_cache,
+    override_default_cache,
+    system_fingerprint,
+)
+
+
+class CountingBackend:
+    """Wraps a real backend and counts how often run() actually executes."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    @property
+    def name(self):
+        return self.inner.name
+
+    @property
+    def design_point(self):
+        return self.inner.design_point
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def run(self, model, batch_size):
+        self.calls += 1
+        return self.inner.run(model, batch_size)
+
+    def energy(self, model, batch_size):
+        return self.run(model, batch_size).energy_joules
+
+
+class TestResultCache:
+    def test_memoizes_per_key(self):
+        cache = ResultCache()
+        backend = CountingBackend(get_backend("centaur", HARPV2_SYSTEM))
+        first = cache.get_or_compute(backend, DLRM1, 16, HARPV2_SYSTEM)
+        second = cache.get_or_compute(backend, DLRM1, 16, HARPV2_SYSTEM)
+        assert first is second
+        assert backend.calls == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.max_compute_count() == 1
+
+    def test_distinct_coordinates_compute_separately(self):
+        cache = ResultCache()
+        backend = CountingBackend(get_backend("centaur", HARPV2_SYSTEM))
+        cache.get_or_compute(backend, DLRM1, 16, HARPV2_SYSTEM)
+        cache.get_or_compute(backend, DLRM1, 32, HARPV2_SYSTEM)
+        cache.get_or_compute(backend, DLRM2, 16, HARPV2_SYSTEM)
+        assert backend.calls == 3
+        assert len(cache) == 3
+
+    def test_system_fingerprint_distinguishes_platforms(self):
+        scaled = HARPV2_SYSTEM.with_link(
+            HARPV2_SYSTEM.link.with_bypass(HARPV2_SYSTEM.memory.peak_bandwidth)
+        )
+        assert system_fingerprint(HARPV2_SYSTEM) != system_fingerprint(scaled)
+        rebuilt = HARPV2_SYSTEM.with_link(HARPV2_SYSTEM.link)
+        assert system_fingerprint(HARPV2_SYSTEM) == system_fingerprint(rebuilt)
+
+    def test_modified_system_is_a_cache_miss(self):
+        cache = ResultCache()
+        backend = CountingBackend(get_backend("centaur", HARPV2_SYSTEM))
+        scaled = HARPV2_SYSTEM.with_link(
+            HARPV2_SYSTEM.link.with_bypass(HARPV2_SYSTEM.memory.peak_bandwidth)
+        )
+        cache.get_or_compute(backend, DLRM1, 16, HARPV2_SYSTEM)
+        cache.get_or_compute(backend, DLRM1, 16, scaled)
+        assert backend.calls == 2
+
+    def test_clear(self):
+        cache = ResultCache()
+        backend = get_backend("cpu", HARPV2_SYSTEM)
+        cache.get_or_compute(backend, DLRM1, 4, HARPV2_SYSTEM)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_save_load_round_trip(self, tmp_path):
+        cache = ResultCache()
+        backend = get_backend("centaur", HARPV2_SYSTEM)
+        original = cache.get_or_compute(backend, DLRM1, 16, HARPV2_SYSTEM)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        restored = ResultCache.load(path)
+        assert len(restored) == 1
+        counting = CountingBackend(backend)
+        result = restored.get_or_compute(counting, DLRM1, 16, HARPV2_SYSTEM)
+        assert counting.calls == 0, "a persisted point must not recompute"
+        assert result.latency_seconds == original.latency_seconds
+        assert result.breakdown.stages == original.breakdown.stages
+        assert result.extra == original.extra
+
+
+class TestDefaultCacheOverride:
+    def test_override_swaps_and_restores(self):
+        before = default_cache()
+        with override_default_cache() as cache:
+            assert default_cache() is cache
+            assert cache is not before
+        assert default_cache() is before
+
+    def test_experiment_uses_default_cache(self):
+        with override_default_cache() as cache:
+            Experiment(HARPV2_SYSTEM).backends("cpu").models(DLRM1).batch_sizes(4).run()
+            assert len(cache) == 1
+
+    def test_experiment_cache_none_disables_memoization(self):
+        with override_default_cache() as cache:
+            (
+                Experiment(HARPV2_SYSTEM, cache=None)
+                .backends("cpu")
+                .models(DLRM1)
+                .batch_sizes(4)
+                .run()
+            )
+            assert len(cache) == 0
+
+
+class TestCacheEffectiveness:
+    def test_full_figure_suite_computes_each_point_exactly_once(self):
+        """Regenerating every paper figure computes each design point once.
+
+        This is the acceptance criterion of the Experiment redesign: the
+        figures all slice the same (backend, model, batch) grid, so with the
+        shared cache no unique point may ever be priced twice.
+        """
+        with override_default_cache() as cache:
+            figure5_latency_breakdown(HARPV2_SYSTEM)
+            figure6_cache_behaviour(HARPV2_SYSTEM)
+            figure7_effective_throughput(HARPV2_SYSTEM)
+            figure13_centaur_throughput(HARPV2_SYSTEM)
+            figure14_centaur_breakdown(HARPV2_SYSTEM)
+            figure15_comparison(HARPV2_SYSTEM)
+            headline_summary(HARPV2_SYSTEM)
+            ablation_link_bandwidth(HARPV2_SYSTEM)
+
+            counts = cache.compute_counts()
+            assert counts, "the figure suite must populate the cache"
+            assert cache.max_compute_count() == 1, (
+                "some design points were computed more than once: "
+                f"{[key for key, count in counts.items() if count > 1]}"
+            )
+            # The full grid is 3 backends x 6 models x 6 batches = 108 points
+            # on the unmodified platform; figures 5/6/7/13/14/15 + headline
+            # all hit that same pool.
+            harpv2 = system_fingerprint(HARPV2_SYSTEM)
+            grid_points = [key for key in counts if key[3] == harpv2]
+            assert len(grid_points) == 108
+            assert cache.hits > len(counts), "later figures must reuse earlier points"
+
+    def test_rerunning_a_figure_is_fully_cached(self):
+        with override_default_cache() as cache:
+            figure14_centaur_breakdown(HARPV2_SYSTEM)
+            misses_after_first = cache.misses
+            figure14_centaur_breakdown(HARPV2_SYSTEM)
+            assert cache.misses == misses_after_first
+            assert cache.max_compute_count() == 1

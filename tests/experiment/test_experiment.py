@@ -1,0 +1,193 @@
+"""Tests for the declarative Experiment builder and its result queries."""
+
+import pytest
+
+from repro.analysis.sweep import DesignPointSweep
+from repro.config import DLRM1, DLRM3, HARPV2_SYSTEM, PAPER_BATCH_SIZES, PAPER_MODELS
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiment import Experiment, ResultCache, run_grid
+
+
+def small_grid(cache=None):
+    return (
+        Experiment(HARPV2_SYSTEM, cache=cache)
+        .backends("cpu", "centaur")
+        .models(DLRM1, DLRM3)
+        .batch_sizes(1, 64)
+        .run()
+    )
+
+
+class TestExperimentBuilder:
+    def test_declarative_grid(self):
+        grid = small_grid()
+        assert len(grid) == 2 * 2 * 2
+        assert grid.backends() == ["cpu", "centaur"]
+        assert grid.model_names() == ["DLRM(1)", "DLRM(3)"]
+        assert grid.batch_sizes() == [1, 64]
+
+    def test_defaults_reproduce_the_paper_grid(self):
+        experiment = Experiment(HARPV2_SYSTEM)
+        assert experiment.grid_models == PAPER_MODELS
+        assert experiment.grid_batch_sizes == PAPER_BATCH_SIZES
+        assert set(experiment.backend_names) >= {"cpu", "cpu-gpu", "centaur"}
+
+    def test_accepts_iterables_and_varargs(self):
+        a = Experiment(HARPV2_SYSTEM).models([DLRM1, DLRM3]).batch_sizes([1, 4])
+        b = Experiment(HARPV2_SYSTEM).models(DLRM1, DLRM3).batch_sizes(1, 4)
+        assert a.grid_models == b.grid_models
+        assert a.grid_batch_sizes == b.grid_batch_sizes
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Experiment(HARPV2_SYSTEM).backends()
+        with pytest.raises(SimulationError):
+            Experiment(HARPV2_SYSTEM).models()
+        with pytest.raises(SimulationError):
+            Experiment(HARPV2_SYSTEM).batch_sizes(0)
+        with pytest.raises(ConfigurationError):
+            Experiment(HARPV2_SYSTEM).backends("tpu")
+
+    def test_conflicting_models_with_one_name_rejected(self):
+        from repro.analysis.characterization import single_table_model
+        from repro.config import DLRM4
+
+        few = single_table_model(DLRM4, 5, name="X")
+        many = single_table_model(DLRM4, 200, name="X")
+        with pytest.raises(SimulationError, match="share the name"):
+            Experiment(HARPV2_SYSTEM).models(few, many)
+        # The same configuration repeated is harmless.
+        Experiment(HARPV2_SYSTEM).models(DLRM1, DLRM1)
+
+    def test_run_grid_convenience(self):
+        grid = run_grid(
+            HARPV2_SYSTEM, ["centaur"], [DLRM1], [16], cache=ResultCache()
+        )
+        assert len(grid) == 1
+        assert grid.get("centaur", "DLRM(1)", 16).design_point == "Centaur"
+
+
+class TestExperimentResultQueries:
+    def test_get_accepts_aliases_and_design_point_labels(self):
+        grid = small_grid()
+        by_name = grid.get("centaur", "DLRM(3)", 64)
+        assert grid.get("Centaur", "DLRM(3)", 64) is by_name
+        assert grid.get("CPU-only", "DLRM(1)", 1) is grid.get("cpu", "DLRM(1)", 1)
+
+    def test_get_missing_point_raises(self):
+        grid = small_grid()
+        with pytest.raises(KeyError):
+            grid.get("cpu-gpu", "DLRM(1)", 1)
+
+    def test_typoed_backend_raises_instead_of_matching_nothing(self):
+        grid = small_grid()
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            grid.filter(backend="centuar")
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            grid.get("centuar", "DLRM(1)", 1)
+
+    def test_filter(self):
+        grid = small_grid()
+        assert len(grid.filter(backend="centaur")) == 4
+        assert len(grid.filter(model_name="DLRM(1)")) == 4
+        assert len(grid.filter(batch_size=64)) == 4
+        only = grid.filter(backend="cpu", model_name="DLRM(3)", batch_size=1)
+        assert len(only) == 1
+        assert only[0].design_point == "CPU-only"
+
+    def test_pivot_single_backend(self):
+        grid = small_grid()
+        table = grid.pivot(value="latency_seconds", backend="centaur")
+        assert set(table) == {"DLRM(1)", "DLRM(3)"}
+        assert set(table["DLRM(1)"]) == {1, 64}
+        assert table["DLRM(3)"][64] == grid.get("centaur", "DLRM(3)", 64).latency_seconds
+
+    def test_pivot_multi_backend_keys_rows_by_backend(self):
+        table = small_grid().pivot(value="energy_joules")
+        assert ("cpu", "DLRM(1)") in table
+        assert ("centaur", "DLRM(3)") in table
+
+    def test_pivot_with_callable(self):
+        table = small_grid().pivot(
+            value=lambda result: result.breakdown.fraction("EMB"), backend="cpu"
+        )
+        assert 0.0 < table["DLRM(3)"][64] <= 1.0
+
+    def test_to_dict_and_csv(self):
+        grid = small_grid()
+        payload = grid.to_dict()
+        assert payload["system_fingerprint"]
+        assert len(payload["results"]) == len(grid)
+        csv_text = grid.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == len(grid) + 1
+        assert lines[0].startswith("backend,design_point,model,batch_size,latency_s")
+        assert any(line.startswith("centaur,Centaur,DLRM(3),64") for line in lines)
+
+    def test_to_sweep_result_round_trip(self):
+        sweep = small_grid().to_sweep_result()
+        assert sweep.design_points() == ["CPU-only", "Centaur"]
+        assert sweep.get("Centaur", "DLRM(1)", 64).batch_size == 64
+
+
+class TestVariantSweep:
+    def test_addresses_results_by_sweep_value(self):
+        from repro.analysis.characterization import single_table_model
+        from repro.config import DLRM4
+        from repro.experiment import VariantSweep
+
+        sweep = VariantSweep(
+            HARPV2_SYSTEM,
+            ("cpu", "centaur"),
+            {count: single_table_model(DLRM4, count) for count in (5, 50)},
+            (1, 16),
+        )
+        assert len(sweep.grid) == 2 * 2 * 2
+        assert sweep.model(5).gathers_per_table == 5
+        result = sweep.result(50, "centaur", 16)
+        assert result.design_point == "Centaur"
+        assert result.model_name == sweep.model(50).name
+        with pytest.raises(KeyError):
+            sweep.model(999)
+
+    def test_empty_variants_rejected(self):
+        from repro.experiment import VariantSweep
+
+        with pytest.raises(SimulationError):
+            VariantSweep(HARPV2_SYSTEM, ("cpu",), {}, (1,))
+
+
+class TestSweepCompatibility:
+    def test_design_point_sweep_matches_experiment(self):
+        sweep = DesignPointSweep(
+            HARPV2_SYSTEM, models=[DLRM1], batch_sizes=[1, 16]
+        ).run()
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("cpu", "cpu-gpu", "centaur")
+            .models(DLRM1)
+            .batch_sizes(1, 16)
+            .run()
+        )
+        for design_point, backend in (
+            ("CPU-only", "cpu"),
+            ("CPU-GPU", "cpu-gpu"),
+            ("Centaur", "centaur"),
+        ):
+            for batch in (1, 16):
+                legacy = sweep.get(design_point, "DLRM(1)", batch)
+                modern = grid.get(backend, "DLRM(1)", batch)
+                assert legacy.latency_seconds == modern.latency_seconds
+                assert legacy.energy_joules == modern.energy_joules
+
+    def test_design_point_sweep_accepts_registry_names(self):
+        sweep = DesignPointSweep(
+            HARPV2_SYSTEM,
+            models=[DLRM1],
+            batch_sizes=[4],
+            design_points=("cpu", "centaur"),
+        ).run()
+        assert sweep.design_points() == ["CPU-only", "Centaur"]
+        # Lookups accept the registry name the sweep was built with, too.
+        assert sweep.get("cpu", "DLRM(1)", 4) is sweep.get("CPU-only", "DLRM(1)", 4)
+        assert sweep.get("centaur", "DLRM(1)", 4).design_point == "Centaur"

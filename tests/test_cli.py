@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_model
+from repro.config import DLRM3
+
+
+class TestParseModel:
+    def test_accepts_shorthand_and_paper_names(self):
+        assert parse_model("DLRM3") is DLRM3
+        assert parse_model("DLRM(3)") is DLRM3
+        assert parse_model("3") is DLRM3
+        assert parse_model("dlrm3") is DLRM3
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            parse_model("DLRM9")
+
+
+class TestListBackends:
+    def test_lists_the_builtin_backends(self, capsys):
+        assert main(["list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cpu", "cpu-gpu", "centaur"):
+            assert name in out
+        assert "CPU-only" in out and "Centaur" in out
+
+
+class TestRun:
+    def test_prints_latency_and_energy_summary(self, capsys):
+        assert main(["run", "--backend", "centaur", "--model", "DLRM3", "--batch", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Centaur | DLRM(3) | batch 64" in out
+        assert "end-to-end latency" in out
+        assert "energy / batch" in out
+        for stage in ("IDX", "EMB", "DNF", "MLP", "Other"):
+            assert stage in out
+        assert "vs CPU-only" in out
+
+    def test_baseline_can_be_disabled(self, capsys):
+        assert main(
+            ["run", "--backend", "cpu", "--model", "1", "--batch", "4", "--baseline", ""]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CPU-only | DLRM(1) | batch 4" in out
+        assert "vs " not in out
+
+    def test_unknown_backend_fails_cleanly(self, capsys):
+        assert main(["run", "--backend", "tpu", "--model", "DLRM1"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_unknown_model_fails_cleanly(self, capsys):
+        assert main(["run", "--backend", "cpu", "--model", "DLRM9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_prints_a_grid(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "--backends", "cpu", "centaur",
+                "--models", "DLRM1",
+                "--batches", "1", "16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Experiment grid" in out
+        assert out.count("DLRM(1)") == 4  # 2 backends x 2 batches
+
+    def test_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "grid.csv"
+        assert main(
+            [
+                "sweep",
+                "--backends", "centaur",
+                "--models", "DLRM1",
+                "--batches", "4",
+                "--csv", str(target),
+            ]
+        ) == 0
+        assert "wrote 1 design points" in capsys.readouterr().out
+        lines = target.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 2
+        assert lines[1].startswith("centaur,Centaur,DLRM(1),4")

@@ -93,3 +93,72 @@ class TestInferenceResult:
             make_result(batch=0)
         with pytest.raises(SimulationError):
             make_result(power=-1.0)
+
+
+class TestSerialization:
+    def test_latency_breakdown_round_trip(self):
+        breakdown = LatencyBreakdown({"IDX": 1e-6, "EMB": 3e-4, "MLP": 1e-4})
+        restored = LatencyBreakdown.from_dict(breakdown.to_dict())
+        assert restored.stages == breakdown.stages
+        assert restored.total_seconds == breakdown.total_seconds
+
+    def test_traffic_stats_round_trip(self):
+        traffic = MemoryTrafficStats(
+            useful_bytes=1.5e6,
+            transferred_bytes=2.5e6,
+            llc=CacheStats(accesses=100, hits=40, misses=60),
+            instructions=4.2e5,
+        )
+        restored = MemoryTrafficStats.from_dict(traffic.to_dict())
+        assert restored == traffic
+        assert restored.mpki == traffic.mpki
+
+    def test_inference_result_round_trip_is_exact(self):
+        result = make_result(design="Centaur", model="DLRM(4)", batch=32, power=74.0)
+        result.extra["gather_bandwidth"] = 1.19e10
+        restored = InferenceResult.from_dict(result.to_dict())
+        assert restored.design_point == result.design_point
+        assert restored.model_name == result.model_name
+        assert restored.batch_size == result.batch_size
+        assert restored.breakdown.stages == result.breakdown.stages
+        assert restored.embedding_traffic == result.embedding_traffic
+        assert restored.mlp_traffic is None
+        assert restored.power_watts == result.power_watts
+        assert restored.extra == result.extra
+        # Derived metrics survive untouched (nothing is rounded).
+        assert restored.latency_seconds == result.latency_seconds
+        assert restored.energy_joules == result.energy_joules
+        assert (
+            restored.effective_embedding_throughput
+            == result.effective_embedding_throughput
+        )
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        result = make_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = InferenceResult.from_dict(payload)
+        assert restored.latency_seconds == result.latency_seconds
+        assert restored.breakdown.stages == result.breakdown.stages
+
+    def test_truncated_payload_raises_instead_of_zeroing(self):
+        payload = make_result().to_dict()
+        del payload["power_watts"]
+        with pytest.raises(KeyError):
+            InferenceResult.from_dict(payload)
+        traffic_payload = MemoryTrafficStats(useful_bytes=1.0).to_dict()
+        del traffic_payload["llc"]
+        with pytest.raises(KeyError):
+            MemoryTrafficStats.from_dict(traffic_payload)
+
+    def test_real_runner_result_round_trips(self):
+        from repro.backends import get_backend
+        from repro.config import DLRM1, HARPV2_SYSTEM
+
+        for name in ("cpu", "cpu-gpu", "centaur"):
+            result = get_backend(name, HARPV2_SYSTEM).run(DLRM1, 16)
+            restored = InferenceResult.from_dict(result.to_dict())
+            assert restored.latency_seconds == result.latency_seconds
+            assert restored.breakdown.stages == result.breakdown.stages
+            assert restored.extra == result.extra
