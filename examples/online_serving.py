@@ -1,11 +1,13 @@
-"""Online serving under bursty load: tail latency of the three design points.
+"""Online serving under realistic traffic: tail latency of the design points.
 
 The paper argues that user-facing recommendation services need
 latency-optimized hardware because they run under firm SLAs.  This example
 goes one step further than per-batch latency: it simulates an online serving
-system (Poisson arrivals, a 1 ms dynamic batching window, a single device)
-and reports the p50/p95/p99 request latency, device utilization and energy
-per request of CPU-only, CPU-GPU and Centaur at increasing load.
+system through the :mod:`repro.workloads` subsystem and reports the
+p50/p95/p99 request latency, device utilization and energy per request of
+CPU-only, CPU-GPU and Centaur — first under smooth Poisson load, then under
+traffic shapes the eager request-list API could never express: MMPP bursts,
+a diurnal day-curve, and a multi-model traffic mix served by one cluster.
 
 Run with:  python examples/online_serving.py
 """
@@ -14,7 +16,7 @@ from __future__ import annotations
 
 from repro import get_backend
 from repro.analysis import render_serving_comparison
-from repro.config import DLRM2, HARPV2_SYSTEM
+from repro.config import DLRM2, DLRM4, HARPV2_SYSTEM
 from repro.serving import (
     AdaptiveWindowBatching,
     CloseOnFullBatching,
@@ -27,6 +29,13 @@ from repro.serving import (
     TimeoutBatching,
 )
 from repro.utils import TextTable
+from repro.workloads import (
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    TrafficMix,
+    Workload,
+)
 
 #: Arrival rates to sweep (queries per second).
 LOADS_QPS = (5_000, 20_000, 40_000)
@@ -47,6 +56,7 @@ def main() -> None:
           f"max batch {BATCHING.max_batch_size}, SLA {SLA_S * 1e3:.0f} ms\n")
 
     for load in LOADS_QPS:
+        workload = Workload(arrivals=PoissonArrivals(rate_qps=load))
         table = TextTable(
             [
                 "design point",
@@ -62,7 +72,7 @@ def main() -> None:
         )
         for runner in runners:
             simulator = ServingSimulator(runner, model, batching=BATCHING)
-            report = simulator.serve_poisson(rate_qps=load, duration_s=DURATION_S, seed=42)
+            report = simulator.serve_workload(workload, duration_s=DURATION_S, seed=42)
             table.add_row(
                 [
                     report.design_point,
@@ -85,8 +95,88 @@ def main() -> None:
         "\nspeedups in Figure 14.\n"
     )
 
+    compare_traffic_shapes(model)
+    serve_traffic_mix()
     compare_batching_policies(model)
     compare_dispatchers(model)
+
+
+def compare_traffic_shapes(model) -> None:
+    """Same mean load, three shapes: smooth, bursty (MMPP), diurnal.
+
+    The eager Poisson-only API could not express the bursty or diurnal
+    streams; with the workload subsystem they are one object each.
+    """
+    mean_qps = 25_000.0
+    shapes = {
+        "poisson (smooth)": Workload(
+            arrivals=PoissonArrivals(rate_qps=mean_qps), name="smooth"
+        ),
+        "bursty (MMPP on/off)": Workload(
+            arrivals=OnOffArrivals(
+                on_rate_qps=2.0 * mean_qps - 5_000.0,
+                off_rate_qps=5_000.0,
+                mean_on_s=0.02,
+                mean_off_s=0.02,
+            ),
+            name="bursty",
+        ),
+        "diurnal (day curve)": Workload(
+            arrivals=DiurnalArrivals(
+                trough_qps=5_000.0, peak_qps=2.0 * mean_qps - 5_000.0, period_s=DURATION_S
+            ),
+            name="diurnal",
+        ),
+    }
+    reports = {}
+    for label, workload in shapes.items():
+        simulator = ServingSimulator(
+            get_backend("centaur", HARPV2_SYSTEM), model, batching=BATCHING
+        )
+        reports[label] = simulator.serve_workload(
+            workload, duration_s=DURATION_S, seed=42
+        )
+    print(
+        render_serving_comparison(
+            reports,
+            sla_s=SLA_S,
+            title=f"Traffic shape at ~{mean_qps:,.0f} QPS mean on one Centaur device",
+        )
+    )
+    print(
+        "All three streams offer the same mean load, but the tail is set by"
+        "\nthe shape: MMPP bursts pile the queue during on-periods and the"
+        "\nday-curve crest behaves like a slow-motion burst - exactly the"
+        "\nscenarios capacity planning must survive.\n"
+    )
+
+
+def serve_traffic_mix() -> None:
+    """One heterogeneous cluster serving two DLRM configs concurrently."""
+    mix = TrafficMix.of((DLRM2, 0.7), (DLRM4, 0.3))
+    workload = Workload(
+        arrivals=PoissonArrivals(rate_qps=60_000.0), mix=mix, name="blend"
+    )
+    fleet = HeterogeneousCluster.from_backends(
+        ["cpu", "centaur", "centaur"],
+        DLRM2,
+        HARPV2_SYSTEM,
+        dispatcher=LeastLoadedDispatcher(),
+        batching=BATCHING,
+    )
+    report = fleet.serve_workload(workload, duration_s=DURATION_S, seed=42)
+    print(
+        render_serving_comparison(
+            {f"{fleet.design_point} fleet": report},
+            sla_s=SLA_S,
+            title=f"Multi-model mix {mix.label} on one cluster at 60,000 QPS",
+        )
+    )
+    print(
+        "Every request is tagged with its target model; replicas split each"
+        "\nbatch into per-model segments and price them separately, so one"
+        "\nfleet can absorb a blended production workload.\n"
+    )
 
 
 def compare_batching_policies(model) -> None:
@@ -121,6 +211,7 @@ def compare_batching_policies(model) -> None:
 def compare_dispatchers(model) -> None:
     """A heterogeneous fleet (2 CPU sockets + 1 Centaur) under four dispatchers."""
     load = 120_000
+    workload = Workload(arrivals=PoissonArrivals(rate_qps=load), name="dispatch-load")
     dispatchers = (
         RoundRobinDispatcher(),
         PowerOfTwoChoicesDispatcher(seed=7),
@@ -136,8 +227,8 @@ def compare_dispatchers(model) -> None:
             dispatcher=dispatcher,
             batching=BATCHING,
         )
-        reports[dispatcher.name] = fleet.serve_poisson(
-            rate_qps=load, duration_s=DURATION_S, seed=42
+        reports[dispatcher.name] = fleet.serve_workload(
+            workload, duration_s=DURATION_S, seed=42
         )
     print(
         render_serving_comparison(

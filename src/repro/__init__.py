@@ -125,6 +125,23 @@ from repro.serving import (
     SizeBucketedBatching,
     TimeoutBatching,
 )
+from repro.workloads import (
+    ArrivalProcess,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    InferenceRequest,
+    OnOffArrivals,
+    PerTableTrace,
+    PoissonArrivals,
+    ReplayArrivals,
+    TraceModel,
+    TrafficMix,
+    UniformTrace,
+    Workload,
+    WorkingSetTrace,
+    ZipfianTrace,
+    poisson_workload,
+)
 from repro.analysis import DesignPointSweep, headline_summary
 
 __all__ = [
@@ -205,6 +222,21 @@ __all__ = [
     "JoinShortestQueueDispatcher",
     "LeastLoadedDispatcher",
     "PowerOfTwoChoicesDispatcher",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "ConstantRateArrivals",
+    "OnOffArrivals",
+    "DiurnalArrivals",
+    "ReplayArrivals",
+    "InferenceRequest",
+    "TraceModel",
+    "UniformTrace",
+    "ZipfianTrace",
+    "WorkingSetTrace",
+    "PerTableTrace",
+    "TrafficMix",
+    "Workload",
+    "poisson_workload",
     "DesignPointSweep",
     "headline_summary",
 ]

@@ -52,6 +52,8 @@ from repro.analysis.report import (
     render_ablation,
     render_headline,
     render_serving_comparison,
+    render_serving_grid,
+    render_workload_catalog,
     render_table1,
     render_table2,
     render_table3,
@@ -98,6 +100,8 @@ __all__ = [
     "render_ablation",
     "render_headline",
     "render_serving_comparison",
+    "render_serving_grid",
+    "render_workload_catalog",
     "render_table1",
     "render_table2",
     "render_table3",

@@ -365,3 +365,59 @@ def render_serving_comparison(
             ]
         )
     return table.render()
+
+
+def render_workload_catalog(title: str = "Workload catalog") -> str:
+    """Render the arrival-process and trace-model catalogs as text tables."""
+    from repro.workloads.catalog import ARRIVAL_CATALOG, TRACE_CATALOG
+
+    arrivals = TextTable(
+        ["kind", "summary", "example spec"],
+        title=f"{title}: arrival processes",
+    )
+    for entry in ARRIVAL_CATALOG.values():
+        arrivals.add_row([entry.kind, entry.summary, entry.example])
+    traces = TextTable(
+        ["kind", "summary", "example spec"],
+        title=f"{title}: trace models",
+    )
+    for entry in TRACE_CATALOG.values():
+        traces.add_row([entry.kind, entry.summary, entry.example])
+    return arrivals.render() + "\n\n" + traces.render()
+
+
+def render_serving_grid(grid, sla_s: float = 5e-3, title: str = "Serving grid") -> str:
+    """Render a :class:`~repro.experiment.serving.ServingExperimentResult`.
+
+    One row per (backend, workload, model) point with the tail-latency and
+    efficiency columns capacity planners compare.
+    """
+    table = TextTable(
+        [
+            "backend",
+            "workload",
+            "model",
+            "requests",
+            "p50 (ms)",
+            "p99 (ms)",
+            f"SLA<{sla_s * 1e3:.0f}ms %",
+            "energy/req (mJ)",
+        ],
+        title=title,
+    )
+    for (backend, workload, model_label), report in grid:
+        latency = report.latency
+        p50, p99 = latency.percentiles((50.0, 99.0))
+        table.add_row(
+            [
+                backend,
+                workload,
+                model_label,
+                report.completed_requests,
+                p50 * 1e3,
+                p99 * 1e3,
+                100.0 * latency.sla_attainment(sla_s),
+                report.energy_per_request_joules * 1e3,
+            ]
+        )
+    return table.render()

@@ -33,6 +33,22 @@ class BackendCapabilities:
             (Centaur's EB-Streamer), not just the dense layers.
         stages: Latency-breakdown stage names this backend emits, in
             render order.
+        supports_multi_model: The backend can price several DLRM
+            configurations on one device, which multi-model
+            :class:`~repro.workloads.mix.TrafficMix` workloads require
+            (batches execute one per-model segment at a time).
+        supports_skewed_traces: The backend's performance model remains
+            *valid* (possibly conservative) for non-uniform index streams
+            (Zipf / hot-cold working sets).  The built-in analytic runners
+            keep this set: they are calibrated to the paper's uniform
+            regime, which is the pessimal-locality case, so pricing skewed
+            traffic at that calibration is an upper bound on latency — the
+            trace model itself shapes functional batches and cache studies
+            (:meth:`repro.workloads.Workload.batch`,
+            :class:`repro.workloads.ModelTraceGenerator`), not the serving
+            latency estimate.  A backend whose model would be *wrong* (not
+            merely conservative) under skew should clear this so skewed
+            workloads fail loudly instead of silently mispricing.
     """
 
     reports_embedding_throughput: bool = False
@@ -40,6 +56,16 @@ class BackendCapabilities:
     uses_accelerator: bool = False
     offloads_embeddings: bool = False
     stages: Tuple[str, ...] = ()
+    supports_multi_model: bool = True
+    supports_skewed_traces: bool = True
+
+    def supports_workload(self, workload) -> bool:
+        """True when a workload's requirements fit these capabilities."""
+        return workload.compatible_with(self)
+
+    def rejection_reason(self, workload) -> "str | None":
+        """Why a workload cannot run here, or ``None`` when it can."""
+        return workload.incompatibility(self)
 
 
 @runtime_checkable

@@ -7,6 +7,11 @@ Subcommands:
   design point and print its latency/energy summary.
 * ``repro sweep --backends cpu centaur --models DLRM1 DLRM4 --batches 1 64``
   — run an experiment grid and print (or export) the results.
+* ``repro list-workloads`` — the arrival processes and trace models the
+  workload subsystem can build from compact specs.
+* ``repro serve --backend centaur --model DLRM2 --workload bursty:on=40000
+  --requests 20000`` — stream a workload through the event-driven serving
+  simulator and print the tail-latency report.
 
 Models accept Table I shorthand: ``DLRM3``, ``DLRM(3)`` and ``3`` all name
 the third configuration.
@@ -112,6 +117,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_workload_catalog
+
+    print(render_workload_catalog())
+    print(
+        "\nCompose specs with `repro serve --workload <arrival spec> "
+        "--trace <trace spec>`."
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_serving_comparison
+    from repro.experiment.serving import check_workload_support
+    from repro.serving.batching import TimeoutBatching
+    from repro.serving.cluster import ClusterSimulator
+    from repro.serving.simulator import ServingSimulator
+    from repro.workloads.catalog import parse_arrival_spec, parse_trace_spec
+    from repro.workloads.workload import Workload
+
+    if (args.duration is None) == (args.requests is None):
+        print("error: provide exactly one of --duration / --requests", file=sys.stderr)
+        return 2
+    workload = Workload(
+        arrivals=parse_arrival_spec(args.workload),
+        trace=parse_trace_spec(args.trace),
+    )
+    check_workload_support(args.backend, workload)
+    model = parse_model(args.model)
+    backend = get_backend(args.backend, HARPV2_SYSTEM)
+    batching = TimeoutBatching(window_s=args.window, max_batch_size=args.max_batch)
+    if args.replicas == 1:
+        simulator = ServingSimulator(backend, model, batching=batching)
+        report = simulator.serve_workload(
+            workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
+        )
+        label = f"{backend.design_point} x1"
+    else:
+        cluster = ClusterSimulator(
+            backend, model, num_replicas=args.replicas, batching=batching
+        )
+        report = cluster.serve_workload(
+            workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
+        )
+        label = f"{backend.design_point} x{args.replicas}"
+    print(f"workload: {workload.describe()}")
+    if workload.trace.kind != "uniform":
+        print(
+            "note: the trace model shapes functional batches and cache studies; "
+            "serving latency is priced at the device model's uniform "
+            "(pessimal-locality) calibration, an upper bound under skew."
+        )
+    print(
+        render_serving_comparison(
+            {label: report},
+            sla_s=args.sla,
+            title=f"Serving {model.name} under {workload.name}",
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +218,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--csv", default=None, help="write the grid to a CSV file")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    workloads_parser = subparsers.add_parser(
+        "list-workloads", help="list the arrival processes and trace models"
+    )
+    workloads_parser.set_defaults(handler=_cmd_list_workloads)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="stream a workload through the serving simulator"
+    )
+    serve_parser.add_argument("--backend", required=True, help="registry name, e.g. centaur")
+    serve_parser.add_argument("--model", required=True, help="Table I model, e.g. DLRM2")
+    serve_parser.add_argument(
+        "--workload",
+        default="poisson:20000",
+        help="arrival spec (see list-workloads), e.g. bursty:on=40000,off=2000",
+    )
+    serve_parser.add_argument(
+        "--trace", default="uniform", help="trace spec, e.g. zipf:1.05 (default uniform)"
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=None, help="serve exactly this many requests"
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=None, help="serve this many simulated seconds"
+    )
+    serve_parser.add_argument(
+        "--replicas", type=int, default=1, help="identical replicas behind the dispatcher"
+    )
+    serve_parser.add_argument(
+        "--window", type=float, default=1e-3, help="batching window in seconds"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=64, help="batching size cap"
+    )
+    serve_parser.add_argument(
+        "--sla", type=float, default=5e-3, help="SLA budget in seconds for attainment"
+    )
+    serve_parser.add_argument("--seed", type=int, default=0, help="workload stream seed")
+    serve_parser.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -28,7 +28,7 @@ from repro.core.link import ChipletLink
 from repro.core.mmio import HostMemory, MMIOInterface
 from repro.core.registers import BasePointerRegisters
 from repro.dlrm.model import DLRM, DLRMOutput
-from repro.dlrm.trace import DLRMBatch
+from repro.workloads.traces import DLRMBatch
 from repro.errors import SimulationError
 from repro.memsys.stats import CacheStats, MemoryTrafficStats
 from repro.results import InferenceResult, LatencyBreakdown

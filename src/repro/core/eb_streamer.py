@@ -33,7 +33,7 @@ from repro.core.mmio import HostMemory, IOMMU
 from repro.core.reduction import EmbeddingReductionUnit
 from repro.core.registers import BasePointerRegisters
 from repro.core.sram import SRAMBuffer
-from repro.dlrm.trace import SparseTrace
+from repro.workloads.traces import SparseTrace
 from repro.errors import CapacityError, SimulationError
 from repro.memsys.address import cache_lines_for_vector
 from repro.sim.engine import Simulator

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.config.models import DLRMConfig
 from repro.config.system import CPUConfig
-from repro.dlrm.trace import DLRMBatch, TraceGenerator, UniformTraceGenerator
+from repro.workloads.traces import DLRMBatch, TraceGenerator, UniformTraceGenerator
 from repro.errors import SimulationError
 from repro.memsys.address import cache_lines_for_vector
 from repro.memsys.analytic import AnalyticCacheModel, expected_unique_fraction

@@ -20,7 +20,7 @@ from repro.dlrm.embedding import (
 from repro.dlrm.mlp import LinearLayer, MLP, relu, sigmoid
 from repro.dlrm.interaction import dot_feature_interaction
 from repro.dlrm.model import DLRM, DLRMOutput
-from repro.dlrm.trace import (
+from repro.workloads.traces import (
     DLRMBatch,
     SparseTrace,
     TraceGenerator,

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.config.models import EmbeddingTableConfig
 from repro.errors import ModelShapeError, TraceError
-from repro.dlrm.trace import SparseTrace
+from repro.workloads.traces import SparseTrace
 
 
 class EmbeddingTableBase:

@@ -18,7 +18,7 @@ from repro.config.models import DLRMConfig
 from repro.dlrm.embedding import EmbeddingBagCollection
 from repro.dlrm.interaction import dot_feature_interaction
 from repro.dlrm.mlp import MLP, sigmoid
-from repro.dlrm.trace import DLRMBatch
+from repro.workloads.traces import DLRMBatch
 from repro.errors import ModelShapeError
 
 

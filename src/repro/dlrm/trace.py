@@ -1,264 +1,34 @@
-"""Sparse-index trace generation for DLRM inference.
+"""Deprecated shim: trace generation moved to :mod:`repro.workloads.traces`.
 
-A *trace* is the stream of sparse indices that an inference batch looks up
-from each embedding table, expressed exactly like Caffe2's
-``SparseLengthsSum`` operator in the paper's Fig. 2: a flat index array plus
-a per-sample offset array.
-
-Two generators are provided:
-
-* :class:`UniformTraceGenerator` — indices drawn uniformly at random over the
-  table, which is the pessimal-locality case the paper characterizes
-  (embedding gathers with "low spatial/temporal locality").
-* :class:`ZipfianTraceGenerator` — indices drawn from a Zipf distribution,
-  modelling popularity skew in production traffic; useful for the cache
-  sensitivity studies beyond the paper's main results.
+This module re-exports the original names so existing imports keep working;
+new code should import from :mod:`repro.workloads` (which also provides the
+stateless :class:`~repro.workloads.traces.TraceModel` layer, the hot/cold
+working-set model and per-table skew overrides the legacy classes lack).
 """
 
-from __future__ import annotations
+import warnings
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+warnings.warn(
+    "repro.dlrm.trace is deprecated; import trace generation from "
+    "repro.workloads instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-import numpy as np
+from repro.workloads.traces import (  # noqa: E402,F401
+    DLRMBatch,
+    SparseTrace,
+    TraceGenerator,
+    UniformTraceGenerator,
+    ZipfianTraceGenerator,
+    concatenate_traces,
+)
 
-from repro.config.models import DLRMConfig, EmbeddingTableConfig
-from repro.errors import TraceError
-
-
-@dataclass(frozen=True)
-class SparseTrace:
-    """Lookup indices for one embedding table over one batch.
-
-    Attributes:
-        indices: Flat ``int64`` array of row IDs, concatenated over samples.
-        offsets: ``int64`` array of length ``batch_size + 1``; sample ``i``
-            owns ``indices[offsets[i]:offsets[i+1]]``.
-        num_rows: Number of rows in the table the indices refer to.
-    """
-
-    indices: np.ndarray
-    offsets: np.ndarray
-    num_rows: int
-
-    def __post_init__(self) -> None:
-        indices = np.asarray(self.indices)
-        offsets = np.asarray(self.offsets)
-        if indices.ndim != 1:
-            raise TraceError(f"indices must be one-dimensional, got shape {indices.shape}")
-        if offsets.ndim != 1 or len(offsets) < 2:
-            raise TraceError(
-                "offsets must be one-dimensional with at least two entries "
-                f"(got shape {offsets.shape})"
-            )
-        if offsets[0] != 0 or offsets[-1] != len(indices):
-            raise TraceError(
-                "offsets must start at 0 and end at len(indices): "
-                f"got first={offsets[0]}, last={offsets[-1]}, len={len(indices)}"
-            )
-        if np.any(np.diff(offsets) < 0):
-            raise TraceError("offsets must be non-decreasing")
-        if self.num_rows <= 0:
-            raise TraceError(f"num_rows must be positive, got {self.num_rows}")
-        if len(indices) and (indices.min() < 0 or indices.max() >= self.num_rows):
-            raise TraceError(
-                f"indices must lie in [0, {self.num_rows}), got range "
-                f"[{indices.min()}, {indices.max()}]"
-            )
-
-    @property
-    def batch_size(self) -> int:
-        return len(self.offsets) - 1
-
-    @property
-    def total_lookups(self) -> int:
-        return int(len(self.indices))
-
-    def lookups_for_sample(self, sample: int) -> np.ndarray:
-        """Return the row IDs gathered for one sample."""
-        if not 0 <= sample < self.batch_size:
-            raise IndexError(f"sample {sample} out of range for batch {self.batch_size}")
-        return self.indices[self.offsets[sample] : self.offsets[sample + 1]]
-
-    def unique_rows(self) -> int:
-        """Number of distinct rows touched by the whole batch."""
-        if self.total_lookups == 0:
-            return 0
-        return int(len(np.unique(self.indices)))
-
-
-@dataclass(frozen=True)
-class DLRMBatch:
-    """One inference batch: dense features plus one trace per embedding table."""
-
-    dense_features: np.ndarray
-    sparse_traces: Tuple[SparseTrace, ...]
-
-    def __post_init__(self) -> None:
-        dense = np.asarray(self.dense_features)
-        if dense.ndim != 2:
-            raise TraceError(
-                f"dense_features must be [batch, features], got shape {dense.shape}"
-            )
-        for table_id, trace in enumerate(self.sparse_traces):
-            if trace.batch_size != dense.shape[0]:
-                raise TraceError(
-                    f"trace for table {table_id} has batch size {trace.batch_size} "
-                    f"but dense features have batch size {dense.shape[0]}"
-                )
-
-    @property
-    def batch_size(self) -> int:
-        return int(self.dense_features.shape[0])
-
-    @property
-    def num_tables(self) -> int:
-        return len(self.sparse_traces)
-
-    @property
-    def total_lookups(self) -> int:
-        return sum(trace.total_lookups for trace in self.sparse_traces)
-
-    def embedding_bytes(self, embedding_dim: int, dtype_bytes: int = 4) -> int:
-        """Useful bytes gathered from embedding tables for this batch."""
-        return self.total_lookups * embedding_dim * dtype_bytes
-
-
-class TraceGenerator:
-    """Base class for sparse-index trace generators.
-
-    Subclasses implement :meth:`_draw_indices`, producing row IDs for a given
-    number of lookups over a table; the base class handles offsets, batching
-    and whole-model batch generation.
-    """
-
-    def __init__(self, seed: int = 0):
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-
-    @property
-    def seed(self) -> int:
-        return self._seed
-
-    def reseed(self, seed: int) -> None:
-        """Reset the generator to a fresh deterministic state."""
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-
-    # ------------------------------------------------------------------
-    def _draw_indices(self, num_rows: int, count: int) -> np.ndarray:
-        raise NotImplementedError
-
-    # ------------------------------------------------------------------
-    def table_trace(
-        self,
-        table: EmbeddingTableConfig,
-        batch_size: int,
-        lookups_per_sample: Optional[int] = None,
-    ) -> SparseTrace:
-        """Generate a trace for one table over a batch.
-
-        Args:
-            table: The table configuration (row count, default lookup count).
-            batch_size: Number of samples in the batch.
-            lookups_per_sample: Override of the per-sample lookup count; the
-                table's configured ``gathers`` value is used when omitted.
-        """
-        if batch_size <= 0:
-            raise TraceError(f"batch_size must be positive, got {batch_size}")
-        lookups = table.gathers if lookups_per_sample is None else lookups_per_sample
-        if lookups < 0:
-            raise TraceError(f"lookups_per_sample must be non-negative, got {lookups}")
-        total = batch_size * lookups
-        indices = self._draw_indices(table.num_rows, total).astype(np.int64)
-        if lookups == 0:
-            offsets = np.zeros(batch_size + 1, dtype=np.int64)
-        else:
-            offsets = np.arange(0, total + 1, lookups, dtype=np.int64)
-        return SparseTrace(indices=indices, offsets=offsets, num_rows=table.num_rows)
-
-    def model_batch(self, model: DLRMConfig, batch_size: int) -> DLRMBatch:
-        """Generate dense features and per-table traces for a whole model."""
-        dense = self._rng.standard_normal(
-            (batch_size, model.num_dense_features)
-        ).astype(np.float32)
-        traces = tuple(
-            self.table_trace(table, batch_size) for table in model.tables
-        )
-        return DLRMBatch(dense_features=dense, sparse_traces=traces)
-
-    def batches(
-        self, model: DLRMConfig, batch_size: int, count: int
-    ) -> Iterable[DLRMBatch]:
-        """Yield ``count`` independent batches."""
-        for _ in range(count):
-            yield self.model_batch(model, batch_size)
-
-
-class UniformTraceGenerator(TraceGenerator):
-    """Indices drawn uniformly at random — the paper's low-locality regime."""
-
-    def _draw_indices(self, num_rows: int, count: int) -> np.ndarray:
-        return self._rng.integers(0, num_rows, size=count, dtype=np.int64)
-
-
-class ZipfianTraceGenerator(TraceGenerator):
-    """Indices drawn from a (truncated) Zipf distribution over table rows.
-
-    Args:
-        alpha: Skew parameter; ``alpha -> 0`` approaches uniform and larger
-            values concentrate traffic on a few hot rows.
-        seed: RNG seed.
-    """
-
-    def __init__(self, alpha: float = 1.05, seed: int = 0):
-        if alpha <= 0:
-            raise TraceError(f"alpha must be positive, got {alpha}")
-        super().__init__(seed=seed)
-        self.alpha = alpha
-        self._cdf_cache: dict = {}
-
-    def _cdf(self, num_rows: int) -> np.ndarray:
-        cached = self._cdf_cache.get(num_rows)
-        if cached is not None:
-            return cached
-        ranks = np.arange(1, num_rows + 1, dtype=np.float64)
-        weights = ranks ** (-self.alpha)
-        cdf = np.cumsum(weights)
-        cdf /= cdf[-1]
-        self._cdf_cache[num_rows] = cdf
-        return cdf
-
-    def _draw_indices(self, num_rows: int, count: int) -> np.ndarray:
-        cdf = self._cdf(num_rows)
-        uniform = self._rng.random(count)
-        # Hot rows get low ranks; scatter them over the table with a fixed
-        # permutation derived from the seed so that "popular" rows are not
-        # physically adjacent (which would overstate spatial locality).
-        ranks = np.searchsorted(cdf, uniform, side="left")
-        permutation = np.random.default_rng(self._seed ^ 0x5EED).permutation(num_rows)
-        return permutation[np.clip(ranks, 0, num_rows - 1)]
-
-
-def concatenate_traces(traces: Sequence[SparseTrace]) -> SparseTrace:
-    """Concatenate per-batch traces for the *same* table into one trace.
-
-    Useful when modelling multiple inference requests back to back.
-    """
-    if not traces:
-        raise TraceError("cannot concatenate an empty sequence of traces")
-    num_rows = traces[0].num_rows
-    if any(trace.num_rows != num_rows for trace in traces):
-        raise TraceError("all traces must refer to tables with the same row count")
-    indices: List[np.ndarray] = []
-    offsets: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
-    running = 0
-    for trace in traces:
-        indices.append(trace.indices)
-        offsets.append(trace.offsets[1:] + running)
-        running += trace.total_lookups
-    return SparseTrace(
-        indices=np.concatenate(indices) if indices else np.zeros(0, dtype=np.int64),
-        offsets=np.concatenate(offsets),
-        num_rows=num_rows,
-    )
+__all__ = [
+    "DLRMBatch",
+    "SparseTrace",
+    "TraceGenerator",
+    "UniformTraceGenerator",
+    "ZipfianTraceGenerator",
+    "concatenate_traces",
+]

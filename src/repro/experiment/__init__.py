@@ -20,17 +20,27 @@ from repro.experiment.experiment import (
     VariantSweep,
     run_grid,
 )
+from repro.experiment.serving import (
+    ServingExperimentResult,
+    ServingKey,
+    check_workload_support,
+    serve_grid,
+)
 
 __all__ = [
     "Experiment",
     "ExperimentKey",
     "ExperimentResult",
     "ResultCache",
+    "ServingExperimentResult",
+    "ServingKey",
     "VariantSweep",
+    "check_workload_support",
     "default_cache",
     "model_fingerprint",
     "override_default_cache",
     "run_grid",
+    "serve_grid",
     "set_default_cache",
     "system_fingerprint",
 ]

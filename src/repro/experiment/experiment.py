@@ -251,6 +251,7 @@ class Experiment:
         self._backend_names: Optional[Tuple[str, ...]] = None
         self._models: Tuple[DLRMConfig, ...] = PAPER_MODELS
         self._batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES
+        self._workloads: Tuple["Workload", ...] = ()
 
     # ------------------------------------------------------------------
     def backends(self, *names: str) -> "Experiment":
@@ -299,6 +300,34 @@ class Experiment:
         self._batch_sizes = tuple(int(size) for size in sizes)
         return self
 
+    def workloads(self, *workloads) -> "Experiment":
+        """Select serving workloads as a grid axis (see :meth:`serve`).
+
+        Accepts :class:`~repro.workloads.Workload` objects or bare numbers
+        (interpreted as Poisson rates in QPS).  Workload names must be
+        distinct — serving results are addressed by name.
+        """
+        from repro.workloads.workload import Workload as _Workload
+
+        if len(workloads) == 1 and isinstance(workloads[0], (list, tuple)):
+            workloads = tuple(workloads[0])
+        if not workloads:
+            raise SimulationError("an experiment needs at least one workload")
+        parsed = []
+        for workload in workloads:
+            if not isinstance(workload, _Workload):
+                from repro.workloads.workload import poisson_workload
+
+                workload = poisson_workload(float(workload))
+            parsed.append(workload)
+        names = [workload.name for workload in parsed]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                f"workload names must be distinct, got {names}; pass name=..."
+            )
+        self._workloads = tuple(parsed)
+        return self
+
     def cache(self, cache: Optional[ResultCache]) -> "Experiment":
         """Use a specific cache (or ``None`` to disable memoization)."""
         self._cache = cache
@@ -319,6 +348,10 @@ class Experiment:
     @property
     def grid_batch_sizes(self) -> Tuple[int, ...]:
         return self._batch_sizes
+
+    @property
+    def grid_workloads(self) -> Tuple["Workload", ...]:
+        return self._workloads
 
     def _resolve_cache(self) -> Optional[ResultCache]:
         if self._cache is _USE_DEFAULT_CACHE:
@@ -347,6 +380,43 @@ class Experiment:
                         result = backend.run(model, batch_size)
                     outcome.add(name, result)
         return outcome
+
+    def serve(
+        self,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        batching=None,
+        dispatcher=None,
+        replicas: int = 1,
+        seed: int = 0,
+    ):
+        """Run the serving grid: backends x workloads (x models).
+
+        Requires :meth:`workloads` to have been called.  Every point is
+        capability-gated against the backend registry first; single-model
+        workloads fan out over the experiment's model axis while workloads
+        carrying a :class:`~repro.workloads.mix.TrafficMix` serve their own
+        blend.  Returns a
+        :class:`~repro.experiment.serving.ServingExperimentResult`.
+        """
+        if not self._workloads:
+            raise SimulationError(
+                "no workloads selected; call .workloads(...) before .serve()"
+            )
+        from repro.experiment.serving import serve_grid
+
+        return serve_grid(
+            self.system,
+            self.backend_names,
+            self._workloads,
+            self._models,
+            duration_s=duration_s,
+            num_requests=num_requests,
+            batching=batching,
+            dispatcher=dispatcher,
+            replicas=replicas,
+            seed=seed,
+        )
 
 
 class VariantSweep:

@@ -1,0 +1,251 @@
+"""Serving-workload experiment grids: backends x workloads x models.
+
+Where :class:`repro.experiment.Experiment` prices single batches, this
+module answers the serving question — what tail latency, utilization and
+energy per request does each backend deliver under each *workload*
+(arrival process + trace model + traffic mix)?  Capability flags from the
+backend registry gate every point before anything runs, so an incompatible
+(backend, workload) pair fails loudly with the reason instead of silently
+mispricing.
+
+Grid points are keyed ``(backend, workload name, model label)``; multi-model
+workloads carry their own traffic mix (one point per workload), while
+single-model workloads fan out over the experiment's model axis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.backends.registry import backend_registration, get_backend
+from repro.config.models import DLRMConfig
+from repro.config.system import SystemConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.serving.batching import BatchingPolicy
+from repro.serving.cluster import ClusterReport, ClusterSimulator
+from repro.serving.dispatch import Dispatcher
+from repro.serving.metrics import ServingReport
+from repro.serving.simulator import ServingSimulator
+from repro.workloads.workload import Workload
+
+#: Key identifying one serving point: (backend, workload name, model label).
+ServingKey = Tuple[str, str, str]
+
+#: Either front-end's report type.
+AnyReport = Union[ServingReport, ClusterReport]
+
+
+class ServingExperimentResult:
+    """All serving reports of one workload grid, queryable by key."""
+
+    def __init__(self, system: SystemConfig):
+        self.system = system
+        self._reports: Dict[ServingKey, AnyReport] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, backend: str, workload: str, model_label: str, report: AnyReport) -> None:
+        self._reports[(backend, workload, model_label)] = report
+
+    def get(
+        self,
+        backend: str,
+        workload: str,
+        model_label: Optional[str] = None,
+    ) -> AnyReport:
+        """One serving report; ``model_label`` may be omitted when unique."""
+        if model_label is not None:
+            key = (backend, workload, model_label)
+            if key not in self._reports:
+                raise KeyError(f"no serving result for {key}")
+            return self._reports[key]
+        matches = [
+            report
+            for (b, w, _), report in self._reports.items()
+            if b == backend and w == workload
+        ]
+        if not matches:
+            raise KeyError(f"no serving result for ({backend!r}, {workload!r})")
+        if len(matches) > 1:
+            raise KeyError(
+                f"({backend!r}, {workload!r}) holds {len(matches)} models; "
+                "pass model_label"
+            )
+        return matches[0]
+
+    def filter(
+        self,
+        backend: Optional[str] = None,
+        workload: Optional[str] = None,
+    ) -> List[AnyReport]:
+        """All reports matching the given coordinates, in insertion order."""
+        return [
+            report
+            for (b, w, _), report in self._reports.items()
+            if (backend is None or b == backend) and (workload is None or w == workload)
+        ]
+
+    # ------------------------------------------------------------------
+    def backends(self) -> List[str]:
+        seen: List[str] = []
+        for backend, _, _ in self._reports:
+            if backend not in seen:
+                seen.append(backend)
+        return seen
+
+    def workload_names(self) -> List[str]:
+        seen: List[str] = []
+        for _, workload, _ in self._reports:
+            if workload not in seen:
+                seen.append(workload)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[Tuple[ServingKey, AnyReport]]:
+        return iter(self._reports.items())
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """One row per (backend, workload, model) serving point."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            [
+                "backend",
+                "workload",
+                "model",
+                "completed_requests",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "mean_ms",
+                "avg_batch",
+                "energy_per_request_mj",
+            ]
+        )
+        for (backend, workload, model_label), report in self._reports.items():
+            latency = report.latency
+            writer.writerow(
+                [
+                    backend,
+                    workload,
+                    model_label,
+                    report.completed_requests,
+                    repr(latency.p50_s * 1e3),
+                    repr(latency.p95_s * 1e3),
+                    repr(latency.p99_s * 1e3),
+                    repr(latency.mean_s * 1e3),
+                    repr(_average_batch_size(report)),
+                    repr(report.energy_per_request_joules * 1e3),
+                ]
+            )
+        return buffer.getvalue()
+
+
+def _average_batch_size(report: AnyReport) -> float:
+    """Mean executed batch size; cluster reports aggregate their replicas."""
+    if isinstance(report, ServingReport):
+        return report.average_batch_size
+    total_batches = sum(
+        replica.extra.get("num_batches", 0.0) for replica in report.per_replica
+    )
+    if total_batches == 0:
+        return 0.0
+    weighted = sum(
+        replica.average_batch_size * replica.extra.get("num_batches", 0.0)
+        for replica in report.per_replica
+    )
+    return weighted / total_batches
+
+
+def check_workload_support(backend_name: str, workload: Workload) -> None:
+    """Raise :class:`ConfigurationError` when a backend cannot serve a workload.
+
+    This is the registry-level gate: the backend's registered capability
+    flags are matched against the workload's requirements before any device
+    model runs.
+    """
+    registration = backend_registration(backend_name)
+    reason = workload.incompatibility(registration.capabilities)
+    if reason is not None:
+        raise ConfigurationError(
+            f"backend {registration.name!r} cannot serve workload "
+            f"{workload.name!r}: {reason}"
+        )
+
+
+def serve_grid(
+    system: SystemConfig,
+    backend_names: Sequence[str],
+    workloads: Sequence[Workload],
+    models: Sequence[DLRMConfig],
+    duration_s: Optional[float] = None,
+    num_requests: Optional[int] = None,
+    batching: Optional[BatchingPolicy] = None,
+    dispatcher: Optional[Dispatcher] = None,
+    replicas: int = 1,
+    seed: int = 0,
+) -> ServingExperimentResult:
+    """Evaluate a backends x workloads serving grid.
+
+    Single-model workloads fan out over ``models``; workloads carrying a
+    traffic mix serve their own model blend (one point each).  Every point
+    is capability-gated first, streams its arrivals lazily, and lands in a
+    :class:`ServingExperimentResult` keyed by
+    ``(backend, workload name, model label)``.
+    """
+    if not workloads:
+        raise SimulationError("a serving grid needs at least one workload")
+    if replicas <= 0:
+        raise SimulationError(f"replicas must be positive, got {replicas}")
+    for backend_name in backend_names:
+        for workload in workloads:
+            check_workload_support(backend_name, workload)
+
+    outcome = ServingExperimentResult(system)
+    # One simulator per (backend, default model), reused across workloads, so
+    # its ServiceModel cache prices each (backend, model, batch size) device
+    # point once for the whole grid — the same pricing discipline the batch
+    # Experiment gets from its ResultCache.
+    simulators: Dict[Tuple[str, str], Union[ServingSimulator, ClusterSimulator]] = {}
+    for backend_name in backend_names:
+        backend = get_backend(backend_name, system)
+        for workload in workloads:
+            if workload.mix is not None:
+                grid_models: Tuple[Optional[DLRMConfig], ...] = (None,)
+            else:
+                if not models:
+                    raise SimulationError(
+                        f"workload {workload.name!r} carries no traffic mix and "
+                        "the experiment selected no models"
+                    )
+                grid_models = tuple(models)
+            for model in grid_models:
+                default_model = model if model is not None else workload.models[0]
+                point_key = (backend_name, default_model.name)
+                simulator = simulators.get(point_key)
+                if simulator is None:
+                    if replicas == 1:
+                        simulator = ServingSimulator(
+                            backend, default_model, batching=batching
+                        )
+                    else:
+                        simulator = ClusterSimulator(
+                            backend,
+                            default_model,
+                            num_replicas=replicas,
+                            batching=batching,
+                            dispatcher=dispatcher,
+                        )
+                    simulators[point_key] = simulator
+                report: AnyReport = simulator.serve_workload(
+                    workload,
+                    duration_s=duration_s,
+                    num_requests=num_requests,
+                    seed=seed,
+                )
+                outcome.add(backend_name, workload.name, report.model_name, report)
+    return outcome

@@ -11,7 +11,7 @@ CPU-only, CPU-GPU and Centaur replicas — reporting the throughput /
 tail-latency trade-off under identical load.
 """
 
-from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
+from repro.workloads.arrivals import InferenceRequest, PoissonRequestGenerator
 from repro.serving.batching import (
     AdaptiveWindowBatching,
     BatchingPolicy,

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.serving.requests import InferenceRequest
+from repro.workloads.arrivals import InferenceRequest
 
 
 @dataclass(frozen=True)

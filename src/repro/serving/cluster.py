@@ -18,8 +18,9 @@ Two front-ends share the same core:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.backends.registry import resolve_backend
 from repro.config.models import DLRMConfig
@@ -29,8 +30,9 @@ from repro.serving.batching import BatchingPolicy, default_batching
 from repro.serving.dispatch import Dispatcher, RoundRobinDispatcher
 from repro.serving.metrics import LatencyDistribution, ServingReport
 from repro.serving.replica import DesignPointRunner, ReplicaServer, ServiceModel, drive_stream
-from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
 from repro.sim.engine import Simulator
+from repro.workloads.arrivals import InferenceRequest, PoissonArrivals
+from repro.workloads.workload import Workload
 
 
 @dataclass(frozen=True)
@@ -178,11 +180,16 @@ class HeterogeneousCluster:
         return "+".join(seen)
 
     # ------------------------------------------------------------------
-    def _build_replicas(self, sim: Simulator) -> List[ReplicaServer]:
+    def _build_replicas(
+        self, sim: Simulator, extra_models: Sequence[DLRMConfig] = ()
+    ) -> List[ReplicaServer]:
         replicas = []
         for index, spec in enumerate(self.specs):
             service = ServiceModel(
-                spec.runner, self.model, self._caches[id(spec.runner)]
+                spec.runner,
+                self.model,
+                self._caches[id(spec.runner)],
+                extra_models=extra_models,
             )
             replicas.append(
                 ReplicaServer(
@@ -194,12 +201,22 @@ class HeterogeneousCluster:
             )
         return replicas
 
-    def serve(self, requests: Sequence[InferenceRequest]) -> ClusterReport:
-        """Serve a request stream across the fleet."""
-        if not requests:
+    def serve(
+        self,
+        requests: Union[Sequence[InferenceRequest], Iterable[InferenceRequest]],
+        extra_models: Sequence[DLRMConfig] = (),
+        report_label: Optional[str] = None,
+    ) -> ClusterReport:
+        """Serve a request stream across the fleet.
+
+        ``requests`` may be an eager sequence (sorted internally) or a lazy
+        time-ordered iterator, pulled one arrival at a time so stream length
+        does not bound memory.
+        """
+        if isinstance(requests, Sequence) and not requests:
             raise SimulationError("cannot serve an empty request stream")
         sim = Simulator()
-        replicas = self._build_replicas(sim)
+        replicas = self._build_replicas(sim, extra_models=extra_models)
         self.dispatcher.reset()
 
         def route(request):
@@ -211,38 +228,63 @@ class HeterogeneousCluster:
                 )
             return replicas[index]
 
-        drive_stream(sim, replicas, requests, route)
+        outcome = drive_stream(sim, replicas, requests, route)
+        if outcome.scheduled == 0:
+            raise SimulationError("cannot serve an empty request stream")
 
+        label = report_label or self.model.name
         reports: List[ServingReport] = []
         latencies: List[float] = []
         for replica in replicas:
-            if not replica.arrivals:
+            if not replica.arrival_count:
                 continue
-            report = replica.build_report(self.model.name)
+            report = replica.build_report(label)
             reports.append(report)
             latencies.extend(report.latency.samples_s.tolist())
         if not reports:
             raise SimulationError("no replica received any requests")
         return ClusterReport(
             design_point=self.design_point,
-            model_name=self.model.name,
+            model_name=label,
             num_replicas=self.num_replicas,
             per_replica=reports,
             latency=LatencyDistribution(latencies),
             dispatcher=self.dispatcher.name,
         )
 
+    def serve_workload(
+        self,
+        workload: Workload,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        seed: int = 0,
+    ) -> ClusterReport:
+        """Serve a :class:`~repro.workloads.Workload` stream across the fleet.
+
+        The workload's arrival process streams lazily through the dispatcher;
+        a multi-model traffic mix prices every mix model on every replica,
+        and batches execute one per-model segment at a time.
+        """
+        label = workload.mix.label if workload.mix is not None else None
+        return self.serve(
+            workload.requests(duration_s=duration_s, num_requests=num_requests, seed=seed),
+            extra_models=workload.models,
+            report_label=label,
+        )
+
     def serve_poisson(
         self, rate_qps: float, duration_s: float, seed: int = 0
     ) -> ClusterReport:
         """Serve a Poisson stream of aggregate rate ``rate_qps``."""
-        generator = PoissonRequestGenerator(rate_qps=rate_qps, seed=seed)
-        requests = generator.generate(duration_s=duration_s)
-        if not requests:
+        stream = PoissonArrivals(rate_qps=rate_qps).arrivals(
+            duration_s=duration_s, seed=seed
+        )
+        first = next(stream, None)
+        if first is None:
             raise SimulationError(
                 f"no requests arrived in {duration_s}s at {rate_qps} QPS"
             )
-        return self.serve(requests)
+        return self.serve(itertools.chain([first], stream))
 
 
 class ClusterSimulator(HeterogeneousCluster):

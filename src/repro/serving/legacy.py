@@ -18,7 +18,7 @@ from repro.errors import SimulationError
 from repro.serving.batching import BatchingPolicy, default_batching
 from repro.serving.metrics import ExecutedBatch, LatencyDistribution, ServingReport
 from repro.serving.replica import DesignPointRunner, ServiceModel
-from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
+from repro.workloads.arrivals import InferenceRequest, PoissonRequestGenerator
 
 
 class LegacyServingSimulator:

@@ -13,20 +13,38 @@ device serves batches in close order starting each at
 ``max(close_time, device_free_time)`` — the same ``start = max(ready,
 free)`` recurrence the legacy simulator iterated, now emerging from event
 order.
+
+Memory discipline: replicas hold request objects only while they are in
+flight (pending batch, closed-batch queue, executing batch).  Everything a
+report needs about the past is kept as counters and running aggregates, so
+a multi-million-request streaming run (see :func:`drive_stream`) stays
+O(max in-flight) in resident requests.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.config.models import DLRMConfig
 from repro.errors import SimulationError
 from repro.results import InferenceResult
 from repro.serving.batching import BatchingPolicy, BatchSignal
 from repro.serving.metrics import ExecutedBatch, LatencyDistribution, ServingReport
-from repro.serving.requests import InferenceRequest
 from repro.sim.engine import Event, Simulator
+from repro.workloads.arrivals import InferenceRequest
 
 
 class DesignPointRunner(Protocol):
@@ -42,29 +60,63 @@ class ServiceModel:
     """Caches the design-point runner's per-batch-size predictions.
 
     Runner calls are deterministic in ``(model, batch_size)``, so one cache
-    per (runner, model) pair serves every replica and dispatcher estimate.
+    per (runner, model-set) pair serves every replica and dispatcher
+    estimate.  Beyond the default model, a service may carry *extra* models
+    (one per :class:`~repro.workloads.mix.TrafficMix` component) addressed
+    by name, which is what lets one replica price multi-model traffic.
     """
 
     def __init__(
         self,
         runner: DesignPointRunner,
         model: DLRMConfig,
-        cache: Optional[Dict[int, InferenceResult]] = None,
+        cache: Optional[Dict[Tuple[str, int], InferenceResult]] = None,
+        extra_models: Sequence[DLRMConfig] = (),
     ):
         self.runner = runner
         self.model = model
-        self._cache: Dict[int, InferenceResult] = cache if cache is not None else {}
+        self._models: Dict[Optional[str], DLRMConfig] = {None: model, model.name: model}
+        for extra in extra_models:
+            existing = self._models.get(extra.name)
+            if existing is not None and existing != extra:
+                raise SimulationError(
+                    f"two different model configurations share the name {extra.name!r}"
+                )
+            self._models[extra.name] = extra
+        self._cache: Dict[Tuple[str, int], InferenceResult] = (
+            cache if cache is not None else {}
+        )
+        #: True when the service prices more than one model configuration
+        #: (checked on every closed batch, so resolved once here).
+        self.multi_model: bool = (
+            len({config.name for config in self._models.values()}) > 1
+        )
 
     @property
     def design_point(self) -> str:
         return self.runner.design_point
 
-    def result(self, batch_size: int) -> InferenceResult:
-        cached = self._cache.get(batch_size)
+    def model_for(self, model_name: Optional[str]) -> DLRMConfig:
+        config = self._models.get(model_name)
+        if config is None:
+            raise SimulationError(
+                f"replica cannot price model {model_name!r}; it serves: "
+                f"{sorted(name for name in self._models if name)}"
+            )
+        return config
+
+    def result(self, batch_size: int, model_name: Optional[str] = None) -> InferenceResult:
+        config = self.model_for(model_name)
+        key = (config.name, batch_size)
+        cached = self._cache.get(key)
         if cached is None:
-            cached = self.runner.run(self.model, batch_size)
-            self._cache[batch_size] = cached
+            cached = self.runner.run(config, batch_size)
+            self._cache[key] = cached
         return cached
+
+
+#: One device occupancy: the requests it serves, when it starts and ends.
+_Segment = Tuple[List[InferenceRequest], float, float]
 
 
 class ReplicaServer:
@@ -75,6 +127,11 @@ class ReplicaServer:
         service: Cached runner predictions for this replica's device.
         batching: Batching policy (immutable; may be shared across replicas).
         name: Label used on scheduled events (debugging/tracing).
+        record_latency_samples: Keep every per-request latency/queueing
+            sample for exact percentile reporting (the default).  Disable
+            for huge streaming runs: counters and running aggregates are
+            still maintained, but :meth:`build_report` (which needs the full
+            distribution) becomes unavailable.
     """
 
     def __init__(
@@ -83,11 +140,13 @@ class ReplicaServer:
         service: ServiceModel,
         batching: BatchingPolicy,
         name: str = "replica",
+        record_latency_samples: bool = True,
     ):
         self.sim = sim
         self.service = service
         self.batching = batching
         self.name = name
+        self.record_latency_samples = record_latency_samples
         # Open batch accumulating arrivals.
         self._pending: List[InferenceRequest] = []
         self._close_timer: Optional[Event] = None
@@ -96,13 +155,28 @@ class ReplicaServer:
         self._busy = False
         self._in_flight = 0
         self.device_free_at = 0.0
-        # Accounting.
-        self.arrivals: List[InferenceRequest] = []
+        # Accounting: counters + aggregates (O(1) memory), optional samples.
+        self.arrival_count = 0
+        self.last_arrival_s = 0.0
+        self.completed_count = 0
+        self.peak_outstanding = 0
+        self.latency_sum_s = 0.0
+        self.latency_max_s = 0.0
+        self.queueing_sum_s = 0.0
+        self.batch_count = 0
+        self.batch_size_sum = 0
+        self.last_finish_s = 0.0
+        # Per-batch boundary records; like the latency samples, only kept
+        # when sample recording is on — otherwise a long streaming run would
+        # retain O(num batches) memory through these records.
         self.executed: List[ExecutedBatch] = []
         self.request_latency_s: List[float] = []
         self.request_queueing_s: List[float] = []
         self.busy_time_s = 0.0
         self.energy_joules = 0.0
+        #: Invoked with the completed-request count of each finished batch;
+        #: installed by :func:`drive_stream` to track global conservation.
+        self.completion_listener: Optional[Callable[[int], None]] = None
 
     # -- live state inspected by dispatchers ---------------------------
     @property
@@ -120,6 +194,13 @@ class ReplicaServer:
     def has_pending(self) -> bool:
         return bool(self._pending)
 
+    @property
+    def mean_latency_s(self) -> float:
+        """Running mean request latency (available even without samples)."""
+        if self.completed_count == 0:
+            return 0.0
+        return self.latency_sum_s / self.completed_count
+
     def estimated_backlog_s(self, now: float) -> float:
         """Predicted time to drain everything currently routed here.
 
@@ -129,21 +210,36 @@ class ReplicaServer:
         """
         backlog = max(self.device_free_at - now, 0.0) if self._busy else 0.0
         for _, batch in self._batch_queue:
-            size = self.batching.execution_batch_size(len(batch))
-            backlog += self.service.result(size).latency_seconds
+            backlog += self._batch_cost_s(batch)
         if self._pending:
-            size = self.batching.execution_batch_size(len(self._pending))
-            backlog += self.service.result(size).latency_seconds
+            backlog += self._batch_cost_s(self._pending)
         return backlog
+
+    def _batch_cost_s(self, batch: Sequence[InferenceRequest]) -> float:
+        """Predicted execution time of one batch, segment-accurate for mixes."""
+        if not self.service.multi_model:
+            size = self.batching.execution_batch_size(len(batch))
+            return self.service.result(size).latency_seconds
+        return sum(
+            self.service.result(
+                self.batching.execution_batch_size(len(group)), model_name
+            ).latency_seconds
+            for group, model_name in self._segment_batch(list(batch))
+        )
 
     # -- event handlers ------------------------------------------------
     def submit(self, request: InferenceRequest) -> None:
         """Accept a request at the current simulated time."""
         now = self.sim.now
-        self.arrivals.append(request)
+        self.arrival_count += 1
+        if request.arrival_time_s > self.last_arrival_s:
+            self.last_arrival_s = request.arrival_time_s
         self._pending.append(request)
         signal = self.batching.on_enqueue(self._pending, now, self.device_idle)
         self._apply(signal, now)
+        outstanding = self.outstanding
+        if outstanding > self.peak_outstanding:
+            self.peak_outstanding = outstanding
 
     def flush(self) -> None:
         """Close any pending batch immediately (end-of-stream drain)."""
@@ -180,40 +276,87 @@ class ReplicaServer:
         self._batch_queue.append((now, batch))
         self._maybe_start()
 
+    def _segment_batch(
+        self, batch: List[InferenceRequest]
+    ) -> List[Tuple[List[InferenceRequest], Optional[str]]]:
+        """Split a closed batch into per-model execution segments.
+
+        Single-model services (the common case) execute the batch as one
+        segment; mixed-traffic batches execute one segment per target model,
+        back to back, in first-appearance order.
+        """
+        if not self.service.multi_model:
+            return [(batch, None)]
+        groups: Dict[Optional[str], List[InferenceRequest]] = {}
+        order: List[Optional[str]] = []
+        for request in batch:
+            key = request.model_name
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(request)
+        return [(groups[key], key) for key in order]
+
     def _maybe_start(self) -> None:
         if self._busy or not self._batch_queue:
             return
         ready, batch = self._batch_queue.popleft()
-        result = self.service.result(self.batching.execution_batch_size(len(batch)))
         start = self.sim.now
-        finish = start + result.latency_seconds
+        segments: List[_Segment] = []
+        clock = start
+        for group, model_name in self._segment_batch(batch):
+            result = self.service.result(
+                self.batching.execution_batch_size(len(group)), model_name
+            )
+            seg_start = clock
+            clock = seg_start + result.latency_seconds
+            self.busy_time_s += result.latency_seconds
+            self.energy_joules += result.energy_joules
+            self.batch_count += 1
+            self.batch_size_sum += len(group)
+            if clock > self.last_finish_s:
+                self.last_finish_s = clock
+            if self.record_latency_samples:
+                self.executed.append(
+                    ExecutedBatch(
+                        ready_time_s=ready,
+                        start_time_s=seg_start,
+                        finish_time_s=clock,
+                        batch_size=len(group),
+                    )
+                )
+            segments.append((group, seg_start, clock))
+        finish = clock
         self._busy = True
         self._in_flight = len(batch)
         self.device_free_at = finish
-        self.busy_time_s += result.latency_seconds
-        self.energy_joules += result.energy_joules
-        self.executed.append(
-            ExecutedBatch(
-                ready_time_s=ready,
-                start_time_s=start,
-                finish_time_s=finish,
-                batch_size=len(batch),
-            )
-        )
         self.sim.schedule_at(
             finish,
-            lambda b=batch, s=start, f=finish: self._on_complete(b, s, f),
+            lambda segs=segments: self._on_complete(segs),
             label=f"{self.name}:complete",
         )
 
-    def _on_complete(
-        self, batch: List[InferenceRequest], start: float, finish: float
-    ) -> None:
-        for request in batch:
-            self.request_latency_s.append(finish - request.arrival_time_s)
-            self.request_queueing_s.append(start - request.arrival_time_s)
+    def _on_complete(self, segments: List[_Segment]) -> None:
+        completed = 0
+        record = self.record_latency_samples
+        for group, seg_start, seg_finish in segments:
+            for request in group:
+                latency = seg_finish - request.arrival_time_s
+                queueing = seg_start - request.arrival_time_s
+                self.latency_sum_s += latency
+                self.queueing_sum_s += queueing
+                if latency > self.latency_max_s:
+                    self.latency_max_s = latency
+                if record:
+                    self.request_latency_s.append(latency)
+                    self.request_queueing_s.append(queueing)
+            completed += len(group)
+        self.completed_count += completed
         self._busy = False
         self._in_flight = 0
+        if self.completion_listener is not None:
+            self.completion_listener(completed)
         # Only a truly idle device (no closed batches waiting) triggers the
         # policy hook; with work still queued, greedy policies should keep
         # accumulating the pending batch.
@@ -225,20 +368,24 @@ class ReplicaServer:
     # -- reporting -----------------------------------------------------
     def build_report(self, model_name: str) -> ServingReport:
         """Summarize everything this replica served into a ServingReport."""
-        if not self.executed:
+        if self.batch_count == 0:
             raise SimulationError(f"{self.name} executed no batches")
-        completed = len(self.request_latency_s)
-        if completed != len(self.arrivals):
+        completed = self.completed_count
+        if completed != self.arrival_count:
             raise SimulationError(
-                f"{self.name} lost requests: {len(self.arrivals)} arrived, "
+                f"{self.name} lost requests: {self.arrival_count} arrived, "
                 f"{completed} completed"
             )
-        last_arrival = max(request.arrival_time_s for request in self.arrivals)
+        if not self.record_latency_samples:
+            raise SimulationError(
+                f"{self.name} ran with latency samples disabled; percentile "
+                "reports are unavailable (read the counters/aggregates instead)"
+            )
         makespan = max(batch.finish_time_s for batch in self.executed)
         return ServingReport(
             design_point=self.service.design_point,
             model_name=model_name,
-            offered_load_qps=completed / max(last_arrival, 1e-12),
+            offered_load_qps=completed / max(self.last_arrival_s, 1e-12),
             completed_requests=completed,
             makespan_s=makespan,
             latency=LatencyDistribution(self.request_latency_s),
@@ -252,42 +399,129 @@ class ReplicaServer:
         )
 
 
+@dataclass(frozen=True)
+class StreamOutcome:
+    """What a :func:`drive_stream` run did, in counters.
+
+    Attributes:
+        scheduled: Requests pulled from the stream and scheduled.
+        completed: Requests that finished execution.
+        peak_resident: Largest number of requests materialized (pulled but
+            not yet completed) at any instant — the memory high-water mark
+            of the streaming run, bounded by the in-flight work plus the
+            single look-ahead arrival the driver keeps scheduled.
+    """
+
+    scheduled: int
+    completed: int
+    peak_resident: int
+
+
+class _StreamDriver:
+    """Pulls arrivals from an iterator one event at a time.
+
+    Exactly one arrival event is outstanding at any moment: when it fires,
+    the driver first schedules its successor (so simultaneous arrivals keep
+    their stream order ahead of any timers the submission arms) and then
+    routes the request.  Memory is O(1) in stream length.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        iterator,
+        route: Callable[[InferenceRequest], "ReplicaServer"],
+    ):
+        self.sim = sim
+        self.iterator = iterator
+        self.route = route
+        self.scheduled = 0
+        self.completed = 0
+        self.peak_resident = 0
+        self._current: Optional[InferenceRequest] = None
+        self._last_time = 0.0
+
+    def note_completion(self, count: int) -> None:
+        self.completed += count
+
+    def pump(self) -> None:
+        request = next(self.iterator, None)
+        if request is None:
+            return
+        if request.arrival_time_s < self._last_time:
+            raise SimulationError(
+                "streaming arrivals must be time-ordered: got "
+                f"{request.arrival_time_s} after {self._last_time}"
+            )
+        self._last_time = request.arrival_time_s
+        self.scheduled += 1
+        self._current = request
+        self.sim.schedule_at(request.arrival_time_s, self._fire, label="arrival")
+
+    def _fire(self) -> None:
+        request = self._current
+        self.pump()
+        self.route(request).submit(request)
+        resident = self.scheduled - self.completed
+        if resident > self.peak_resident:
+            self.peak_resident = resident
+
+
 def drive_stream(
     sim: Simulator,
     replicas: Sequence[ReplicaServer],
-    requests: Sequence[InferenceRequest],
-    route,
-) -> None:
-    """Schedule a request stream and run the simulation to completion.
+    requests: Union[Sequence[InferenceRequest], Iterable[InferenceRequest]],
+    route: Callable[[InferenceRequest], ReplicaServer],
+) -> StreamOutcome:
+    """Drive a request stream through the fleet and run to completion.
+
+    Arrivals are pulled lazily: only one arrival event is scheduled ahead of
+    the simulation clock, so an arbitrarily long stream holds just the
+    in-flight requests in memory.  Sequences are sorted first (the legacy
+    contract); bare iterators must already be time-ordered.
 
     Args:
         sim: The shared simulator all replicas live on.
         replicas: The replica fleet.
-        requests: The arrival stream (any order; scheduled by arrival time).
+        requests: The arrival stream — a sequence (any order) or a lazy,
+            time-ordered iterator (e.g. ``Workload.requests(...)``).
         route: Callable ``(request) -> ReplicaServer`` evaluated *at arrival
             time*, so routing sees live queue state.
     """
-    ordered = sorted(requests, key=lambda request: request.arrival_time_s)
-    for request in ordered:
-        sim.schedule_at(
-            request.arrival_time_s,
-            lambda r=request: route(r).submit(r),
-            label="arrival",
-        )
-    sim.run()
-    # Policies without a close timer (e.g. FixedSizeBatching with no wait
-    # cap) can strand a trailing partial batch once the stream ends; flush
-    # and keep running until every replica drains.
-    guard = 0
-    while any(replica.has_pending for replica in replicas):
-        guard += 1
-        if guard > len(requests) + 1:
-            raise SimulationError("serving simulation failed to drain pending requests")
-        for replica in replicas:
-            replica.flush()
+    if isinstance(requests, Sequence):
+        iterator = iter(sorted(requests, key=lambda request: request.arrival_time_s))
+    else:
+        iterator = iter(requests)
+    driver = _StreamDriver(sim, iterator, route)
+    previous_listeners = [replica.completion_listener for replica in replicas]
+    for replica in replicas:
+        replica.completion_listener = driver.note_completion
+    try:
+        driver.pump()
         sim.run()
-    served = sum(len(replica.request_latency_s) for replica in replicas)
-    if served != len(ordered):
+        # Policies without a close timer (e.g. FixedSizeBatching with no wait
+        # cap) can strand a trailing partial batch once the stream ends; flush
+        # and keep running until every replica drains.
+        guard = 0
+        while any(replica.has_pending for replica in replicas):
+            guard += 1
+            if guard > driver.scheduled + 1:
+                raise SimulationError(
+                    "serving simulation failed to drain pending requests"
+                )
+            for replica in replicas:
+                replica.flush()
+            sim.run()
+    finally:
+        for replica, listener in zip(replicas, previous_listeners):
+            replica.completion_listener = listener
+    if driver.completed != driver.scheduled:
         raise SimulationError(
-            f"request conservation violated: {len(ordered)} arrived, {served} served"
+            f"request conservation violated: {driver.scheduled} arrived, "
+            f"{driver.completed} served"
         )
+    return StreamOutcome(
+        scheduled=driver.scheduled,
+        completed=driver.completed,
+        peak_resident=driver.peak_resident,
+    )

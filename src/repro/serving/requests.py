@@ -1,80 +1,23 @@
-"""Inference request arrivals for the serving simulation."""
+"""Deprecated shim: request arrivals moved to :mod:`repro.workloads.arrivals`.
 
-from __future__ import annotations
+This module re-exports the original names so existing imports keep working;
+new code should compose an :class:`~repro.workloads.arrivals.ArrivalProcess`
+into a :class:`~repro.workloads.Workload` (lazy streams, bursty/diurnal
+processes, traffic mixes) instead of eagerly materializing request lists.
+"""
 
-from dataclasses import dataclass
-from typing import List, Optional
+import warnings
 
-import numpy as np
+warnings.warn(
+    "repro.serving.requests is deprecated; import request arrivals from "
+    "repro.workloads instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-from repro.errors import SimulationError
+from repro.workloads.arrivals import (  # noqa: E402,F401
+    InferenceRequest,
+    PoissonRequestGenerator,
+)
 
-
-@dataclass(frozen=True)
-class InferenceRequest:
-    """One ranking request (one sample) arriving at the serving system.
-
-    Attributes:
-        request_id: Monotonically increasing identifier.
-        arrival_time_s: Time the request entered the queue.
-    """
-
-    request_id: int
-    arrival_time_s: float
-
-    def __post_init__(self) -> None:
-        if self.request_id < 0:
-            raise SimulationError(f"request_id must be non-negative, got {self.request_id}")
-        if self.arrival_time_s < 0:
-            raise SimulationError(
-                f"arrival_time_s must be non-negative, got {self.arrival_time_s}"
-            )
-
-
-class PoissonRequestGenerator:
-    """Generates request arrivals with exponential inter-arrival times.
-
-    Args:
-        rate_qps: Average arrival rate in queries (samples) per second.
-        seed: RNG seed; arrivals are fully deterministic given the seed.
-    """
-
-    def __init__(self, rate_qps: float, seed: int = 0):
-        if rate_qps <= 0:
-            raise SimulationError(f"rate_qps must be positive, got {rate_qps}")
-        self.rate_qps = rate_qps
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
-
-    @property
-    def seed(self) -> int:
-        return self._seed
-
-    def generate(
-        self,
-        duration_s: Optional[float] = None,
-        num_requests: Optional[int] = None,
-    ) -> List[InferenceRequest]:
-        """Generate arrivals for a time window or a fixed request count.
-
-        Exactly one of ``duration_s`` / ``num_requests`` must be provided.
-        """
-        if (duration_s is None) == (num_requests is None):
-            raise SimulationError("provide exactly one of duration_s or num_requests")
-        if duration_s is not None and duration_s <= 0:
-            raise SimulationError(f"duration_s must be positive, got {duration_s}")
-        if num_requests is not None and num_requests <= 0:
-            raise SimulationError(f"num_requests must be positive, got {num_requests}")
-
-        requests: List[InferenceRequest] = []
-        now = 0.0
-        request_id = 0
-        while True:
-            now += float(self._rng.exponential(1.0 / self.rate_qps))
-            if duration_s is not None and now > duration_s:
-                break
-            requests.append(InferenceRequest(request_id=request_id, arrival_time_s=now))
-            request_id += 1
-            if num_requests is not None and request_id >= num_requests:
-                break
-        return requests
+__all__ = ["InferenceRequest", "PoissonRequestGenerator"]

@@ -7,6 +7,13 @@ Per-request latency is queueing delay (waiting for the batch to form and for
 the device to become free) plus the batch's execution time — exactly the
 quantity an SLA is written against.
 
+Request streams come from :mod:`repro.workloads`: :meth:`ServingSimulator.serve`
+accepts either an eager sequence or a lazy, time-ordered iterator (pulled on
+demand, so stream length does not bound memory), and
+:meth:`ServingSimulator.serve_workload` drives a full
+:class:`~repro.workloads.Workload` — bursty/diurnal arrivals and multi-model
+traffic mixes included.
+
 For open-loop policies (:class:`~repro.serving.batching.TimeoutBatching`,
 :class:`~repro.serving.batching.FixedSizeBatching`) the event-driven run
 reproduces the legacy replay (:mod:`repro.serving.legacy`) batch-for-batch;
@@ -16,7 +23,8 @@ to device state, which only the event core can express.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import itertools
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.config.models import DLRMConfig
 from repro.errors import SimulationError
@@ -28,8 +36,9 @@ from repro.serving.replica import (
     ServiceModel,
     drive_stream,
 )
-from repro.serving.requests import InferenceRequest, PoissonRequestGenerator
 from repro.sim.engine import Simulator
+from repro.workloads.arrivals import InferenceRequest, PoissonArrivals
+from repro.workloads.workload import Workload
 
 __all__ = ["DesignPointRunner", "ServingSimulator"]
 
@@ -55,19 +64,62 @@ class ServingSimulator:
         self._service = ServiceModel(runner, model)
 
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[InferenceRequest]) -> ServingReport:
-        """Serve an explicit request stream and report latency statistics."""
-        if not requests:
+    def serve(
+        self,
+        requests: Union[Sequence[InferenceRequest], Iterable[InferenceRequest]],
+        extra_models: Sequence[DLRMConfig] = (),
+        report_label: Optional[str] = None,
+    ) -> ServingReport:
+        """Serve a request stream and report latency statistics.
+
+        ``requests`` may be an eager sequence (sorted internally, the legacy
+        contract) or a lazy time-ordered iterator — e.g.
+        ``Workload.requests(...)`` — which is pulled one arrival at a time.
+        """
+        if isinstance(requests, Sequence) and not requests:
             raise SimulationError("cannot serve an empty request stream")
+        service = (
+            self._service
+            if not extra_models
+            else ServiceModel(
+                self.runner,
+                self.model,
+                cache=self._service._cache,
+                extra_models=extra_models,
+            )
+        )
         sim = Simulator()
         replica = ReplicaServer(
             sim,
-            self._service,
+            service,
             self.batching,
             name=f"{self.runner.design_point}:0",
         )
-        drive_stream(sim, [replica], requests, lambda request: replica)
-        return replica.build_report(self.model.name)
+        outcome = drive_stream(sim, [replica], requests, lambda request: replica)
+        if outcome.scheduled == 0:
+            raise SimulationError("cannot serve an empty request stream")
+        return replica.build_report(report_label or self.model.name)
+
+    # ------------------------------------------------------------------
+    def serve_workload(
+        self,
+        workload: Workload,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        seed: int = 0,
+    ) -> ServingReport:
+        """Serve a :class:`~repro.workloads.Workload` stream end to end.
+
+        The workload's arrival process is streamed lazily; if it carries a
+        multi-model traffic mix, every mix model is priced on this device
+        and batches execute one per-model segment at a time.
+        """
+        label = workload.mix.label if workload.mix is not None else self.model.name
+        return self.serve(
+            workload.requests(duration_s=duration_s, num_requests=num_requests, seed=seed),
+            extra_models=workload.models,
+            report_label=label,
+        )
 
     # ------------------------------------------------------------------
     def serve_poisson(
@@ -77,14 +129,16 @@ class ServingSimulator:
         seed: int = 0,
     ) -> ServingReport:
         """Serve a Poisson arrival stream of the given rate and duration."""
-        generator = PoissonRequestGenerator(rate_qps=rate_qps, seed=seed)
-        requests = generator.generate(duration_s=duration_s)
-        if not requests:
+        stream = PoissonArrivals(rate_qps=rate_qps).arrivals(
+            duration_s=duration_s, seed=seed
+        )
+        first = next(stream, None)
+        if first is None:
             raise SimulationError(
                 f"no requests arrived in {duration_s}s at {rate_qps} QPS; "
                 "increase the duration or the rate"
             )
-        return self.serve(requests)
+        return self.serve(itertools.chain([first], stream))
 
     # ------------------------------------------------------------------
     def saturation_throughput(

@@ -1,0 +1,104 @@
+"""Composable, streaming workload subsystem: traces, arrivals, traffic mixes.
+
+The paper's central claim rests on workload shape — sparse embedding gathers
+with poor locality dominate CPU inference, and the hybrid device wins across
+batch sizes and traffic levels.  This package makes workload shape a
+first-class, composable object:
+
+* :class:`ArrivalProcess` — *when* requests arrive (Poisson, bursty on/off,
+  diurnal, constant-rate, replay), all lazy iterators with explicit seeds.
+* :class:`TraceModel` — *what* they look up (uniform, Zipf, hot/cold working
+  set, per-table skew overrides).
+* :class:`TrafficMix` — *which* models they target (weighted multi-model
+  blends served by one cluster).
+* :class:`Workload` — the three composed, with explicit seed-splitting; the
+  unit that serving simulators, experiment grids and the CLI consume.
+
+The legacy entry points (``repro.dlrm.trace``, ``repro.serving.requests``)
+remain as deprecated shims re-exporting from here.
+"""
+
+from repro.workloads.arrivals import (
+    CHUNK_SIZE,
+    ArrivalProcess,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    InferenceRequest,
+    OnOffArrivals,
+    PoissonArrivals,
+    PoissonRequestGenerator,
+    ReplayArrivals,
+    as_arrival_process,
+    merge_streams,
+)
+from repro.workloads.traces import (
+    DLRMBatch,
+    ModelTraceGenerator,
+    PerTableTrace,
+    SparseTrace,
+    TraceGenerator,
+    TraceModel,
+    UniformTrace,
+    UniformTraceGenerator,
+    WorkingSetTrace,
+    ZipfianTrace,
+    ZipfianTraceGenerator,
+    concatenate_traces,
+    model_batch,
+    table_trace,
+)
+from repro.workloads.mix import MixComponent, TrafficMix
+from repro.workloads.workload import (
+    TAG_MULTI_MODEL,
+    TAG_SKEWED_TRACE,
+    Workload,
+    poisson_workload,
+)
+from repro.workloads.catalog import (
+    ARRIVAL_CATALOG,
+    TRACE_CATALOG,
+    CatalogEntry,
+    parse_arrival_spec,
+    parse_trace_spec,
+    parse_workload_spec,
+)
+
+__all__ = [
+    "CHUNK_SIZE",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "ConstantRateArrivals",
+    "OnOffArrivals",
+    "DiurnalArrivals",
+    "ReplayArrivals",
+    "InferenceRequest",
+    "PoissonRequestGenerator",
+    "as_arrival_process",
+    "merge_streams",
+    "TraceModel",
+    "UniformTrace",
+    "ZipfianTrace",
+    "WorkingSetTrace",
+    "PerTableTrace",
+    "TraceGenerator",
+    "UniformTraceGenerator",
+    "ZipfianTraceGenerator",
+    "ModelTraceGenerator",
+    "SparseTrace",
+    "DLRMBatch",
+    "concatenate_traces",
+    "model_batch",
+    "table_trace",
+    "MixComponent",
+    "TrafficMix",
+    "Workload",
+    "poisson_workload",
+    "TAG_MULTI_MODEL",
+    "TAG_SKEWED_TRACE",
+    "CatalogEntry",
+    "ARRIVAL_CATALOG",
+    "TRACE_CATALOG",
+    "parse_arrival_spec",
+    "parse_trace_spec",
+    "parse_workload_spec",
+]

@@ -1,0 +1,236 @@
+"""Workload catalog and spec parsing for the CLI and experiment tooling.
+
+Arrival processes and trace models are addressable by compact text specs so
+``python -m repro serve --workload bursty:on=40000,off=2000`` can build the
+same objects Python callers compose by hand:
+
+* ``poisson:30000`` — Poisson arrivals at 30 kQPS.
+* ``constant:10000`` — evenly spaced arrivals at 10 kQPS.
+* ``bursty:on=40000,off=2000,mean_on=0.05,mean_off=0.1`` — MMPP on/off.
+* ``diurnal:trough=5000,peak=30000,period=0.5`` — sinusoidal day curve.
+* ``replay:0.001,0.002,0.0035`` — explicit timestamps.
+
+Trace specs follow the same shape: ``uniform``, ``zipf:1.05``,
+``hotcold:frac=0.05,weight=0.9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+)
+from repro.workloads.traces import (
+    TraceModel,
+    UniformTrace,
+    WorkingSetTrace,
+    ZipfianTrace,
+)
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One spec-addressable generator family shown by ``list-workloads``."""
+
+    kind: str
+    summary: str
+    example: str
+    build: Callable[[str], object]
+
+
+def _parse_kv(body: str, defaults: Dict[str, float], kind: str) -> Dict[str, float]:
+    """Parse a ``a=1,b=2`` parameter body against a dict of defaults."""
+    values = dict(defaults)
+    if not body:
+        return values
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ConfigurationError(
+                f"{kind} spec parameters must be key=value, got {item!r} "
+                f"(known keys: {', '.join(defaults)})"
+            )
+        key, _, raw = item.partition("=")
+        key = key.strip()
+        if key not in defaults:
+            raise ConfigurationError(
+                f"unknown {kind} parameter {key!r} (known: {', '.join(defaults)})"
+            )
+        try:
+            values[key] = float(raw)
+        except ValueError:
+            raise ConfigurationError(f"{kind} parameter {key!r} is not a number: {raw!r}")
+    return values
+
+
+def _require_number(body: str, kind: str, what: str) -> float:
+    try:
+        return float(body)
+    except ValueError:
+        raise ConfigurationError(f"{kind} spec needs a {what}, got {body!r}")
+
+
+def _build_poisson(body: str) -> ArrivalProcess:
+    return PoissonArrivals(rate_qps=_require_number(body, "poisson", "rate in QPS"))
+
+
+def _build_constant(body: str) -> ArrivalProcess:
+    return ConstantRateArrivals(rate_qps=_require_number(body, "constant", "rate in QPS"))
+
+
+def _build_bursty(body: str) -> ArrivalProcess:
+    values = _parse_kv(
+        body,
+        {"on": 40_000.0, "off": 0.0, "mean_on": 0.05, "mean_off": 0.1},
+        "bursty",
+    )
+    return OnOffArrivals(
+        on_rate_qps=values["on"],
+        off_rate_qps=values["off"],
+        mean_on_s=values["mean_on"],
+        mean_off_s=values["mean_off"],
+    )
+
+
+def _build_diurnal(body: str) -> ArrivalProcess:
+    values = _parse_kv(
+        body,
+        {"trough": 5_000.0, "peak": 30_000.0, "period": 1.0},
+        "diurnal",
+    )
+    return DiurnalArrivals(
+        trough_qps=values["trough"],
+        peak_qps=values["peak"],
+        period_s=values["period"],
+    )
+
+
+def _build_replay(body: str) -> ArrivalProcess:
+    if not body:
+        raise ConfigurationError("replay spec needs a comma-separated list of times")
+    try:
+        times = [float(item) for item in body.split(",") if item.strip()]
+    except ValueError:
+        raise ConfigurationError(f"replay times must be numbers, got {body!r}")
+    return ReplayArrivals(times)
+
+
+ARRIVAL_CATALOG: Dict[str, CatalogEntry] = {
+    "poisson": CatalogEntry(
+        kind="poisson",
+        summary="memoryless open-loop traffic (exponential gaps)",
+        example="poisson:30000",
+        build=_build_poisson,
+    ),
+    "constant": CatalogEntry(
+        kind="constant",
+        summary="evenly spaced closed-loop arrivals (zero burstiness)",
+        example="constant:10000",
+        build=_build_constant,
+    ),
+    "bursty": CatalogEntry(
+        kind="bursty",
+        summary="MMPP on/off bursts with exponential sojourns",
+        example="bursty:on=40000,off=2000,mean_on=0.05,mean_off=0.1",
+        build=_build_bursty,
+    ),
+    "diurnal": CatalogEntry(
+        kind="diurnal",
+        summary="sinusoidal day-curve rate, sampled by thinning",
+        example="diurnal:trough=5000,peak=30000,period=0.5",
+        build=_build_diurnal,
+    ),
+    "replay": CatalogEntry(
+        kind="replay",
+        summary="replay explicit arrival timestamps",
+        example="replay:0.001,0.002,0.0035",
+        build=_build_replay,
+    ),
+}
+
+
+def _build_uniform_trace(body: str) -> TraceModel:
+    if body:
+        raise ConfigurationError("uniform trace spec takes no parameters")
+    return UniformTrace()
+
+
+def _build_zipf_trace(body: str) -> TraceModel:
+    alpha = _require_number(body, "zipf", "skew alpha") if body else 1.05
+    return ZipfianTrace(alpha=alpha)
+
+
+def _build_hotcold_trace(body: str) -> TraceModel:
+    values = _parse_kv(body, {"frac": 0.05, "weight": 0.9}, "hotcold")
+    return WorkingSetTrace(hot_fraction=values["frac"], hot_weight=values["weight"])
+
+
+TRACE_CATALOG: Dict[str, CatalogEntry] = {
+    "uniform": CatalogEntry(
+        kind="uniform",
+        summary="uniform low-locality lookups (the paper's regime)",
+        example="uniform",
+        build=_build_uniform_trace,
+    ),
+    "zipf": CatalogEntry(
+        kind="zipf",
+        summary="Zipf popularity skew over table rows",
+        example="zipf:1.05",
+        build=_build_zipf_trace,
+    ),
+    "hotcold": CatalogEntry(
+        kind="hotcold",
+        summary="hot/cold working set (hot fraction takes most lookups)",
+        example="hotcold:frac=0.05,weight=0.9",
+        build=_build_hotcold_trace,
+    ),
+}
+
+
+def _split_spec(spec: str) -> Tuple[str, str]:
+    text = spec.strip()
+    kind, _, body = text.partition(":")
+    return kind.strip().lower(), body.strip()
+
+
+def parse_arrival_spec(spec: str) -> ArrivalProcess:
+    """Build an :class:`ArrivalProcess` from a compact text spec."""
+    kind, body = _split_spec(spec)
+    entry = ARRIVAL_CATALOG.get(kind)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown arrival process {kind!r}; available: "
+            f"{', '.join(sorted(ARRIVAL_CATALOG))}"
+        )
+    return entry.build(body)  # type: ignore[return-value]
+
+
+def parse_trace_spec(spec: str) -> TraceModel:
+    """Build a :class:`TraceModel` from a compact text spec."""
+    kind, body = _split_spec(spec)
+    entry = TRACE_CATALOG.get(kind)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown trace model {kind!r}; available: "
+            f"{', '.join(sorted(TRACE_CATALOG))}"
+        )
+    return entry.build(body)  # type: ignore[return-value]
+
+
+def parse_workload_spec(spec: str, trace_spec: str = "uniform") -> Workload:
+    """Build a :class:`Workload` from arrival + trace specs."""
+    return Workload(
+        arrivals=parse_arrival_spec(spec),
+        trace=parse_trace_spec(trace_spec),
+    )

@@ -1,0 +1,137 @@
+"""Weighted multi-model traffic blends.
+
+A :class:`TrafficMix` describes one serving cluster handling several DLRM
+configurations concurrently — e.g. 70 % of requests hitting the mid-size
+ranking model and 30 % hitting a heavyweight re-ranker.  The mix tags each
+generated request with its target model name; the serving replicas group
+batch segments per model and price each segment with that model's backend
+prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config.models import DLRMConfig
+from repro.errors import SimulationError
+
+#: Model-name tags are drawn in chunks of this many samples.
+_NAME_CHUNK = 4096
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One model of a traffic mix and its share of the request stream."""
+
+    model: DLRMConfig
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise SimulationError(
+                f"mix weight for {self.model.name} must be positive, got {self.weight}"
+            )
+
+
+class TrafficMix:
+    """A weighted blend of DLRM configurations served by one cluster.
+
+    Args:
+        components: ``(model, weight)`` pairs or :class:`MixComponent`
+            objects.  Weights are relative (normalized internally) and
+            model names must be distinct.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Union[MixComponent, Tuple[DLRMConfig, float]]],
+    ):
+        if not components:
+            raise SimulationError("a traffic mix needs at least one model")
+        parsed = []
+        for component in components:
+            if not isinstance(component, MixComponent):
+                model, weight = component
+                component = MixComponent(model=model, weight=float(weight))
+            parsed.append(component)
+        names = [component.model.name for component in parsed]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                f"mix models must have distinct names, got {names}"
+            )
+        self.components: Tuple[MixComponent, ...] = tuple(parsed)
+        total = sum(component.weight for component in self.components)
+        self._probabilities = np.array(
+            [component.weight / total for component in self.components], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, model: DLRMConfig) -> "TrafficMix":
+        """A degenerate mix: every request targets one model."""
+        return cls([(model, 1.0)])
+
+    @classmethod
+    def of(cls, *pairs: Tuple[DLRMConfig, float]) -> "TrafficMix":
+        """``TrafficMix.of((DLRM2, 0.7), (DLRM4, 0.3))``."""
+        return cls(list(pairs))
+
+    # ------------------------------------------------------------------
+    @property
+    def models(self) -> Tuple[DLRMConfig, ...]:
+        return tuple(component.model for component in self.components)
+
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        return tuple(component.model.name for component in self.components)
+
+    @property
+    def is_multi_model(self) -> bool:
+        return len(self.components) > 1
+
+    def probability_of(self, model_name: str) -> float:
+        """The normalized traffic share of one model."""
+        for component, probability in zip(self.components, self._probabilities):
+            if component.model.name == model_name:
+                return float(probability)
+        raise SimulationError(f"model {model_name!r} is not part of this mix")
+
+    @property
+    def label(self) -> str:
+        """Compact description, e.g. ``"70%DLRM(2)+30%DLRM(4)"``."""
+        if not self.is_multi_model:
+            return self.components[0].model.name
+        return "+".join(
+            f"{probability:.0%}{component.model.name}"
+            for component, probability in zip(self.components, self._probabilities)
+        )
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __repr__(self) -> str:
+        return f"TrafficMix({self.label})"
+
+    # ------------------------------------------------------------------
+    def name_stream(self, seed) -> Iterator[str]:
+        """An unbounded, seeded iterator of per-request model names."""
+        rng = np.random.default_rng(seed)
+        names = np.array(self.model_names, dtype=object)
+        if len(names) == 1:
+            only = str(names[0])
+            while True:
+                yield only
+        while True:
+            picks = rng.choice(len(names), size=_NAME_CHUNK, p=self._probabilities)
+            for index in picks:
+                yield str(names[index])
+
+    def expected_shares(self) -> Dict[str, float]:
+        """``{model name: normalized traffic share}``."""
+        return {
+            component.model.name: float(probability)
+            for component, probability in zip(self.components, self._probabilities)
+        }

@@ -1,0 +1,142 @@
+"""Tests for the backends x workloads serving grid (Experiment.serve)."""
+
+import pytest
+
+from repro.config import DLRM1, DLRM2, HARPV2_SYSTEM
+from repro.errors import SimulationError
+from repro.experiment import Experiment
+from repro.experiment.serving import ServingExperimentResult
+from repro.workloads import (
+    ConstantRateArrivals,
+    PoissonArrivals,
+    TrafficMix,
+    Workload,
+)
+
+FAST = Workload(arrivals=ConstantRateArrivals(rate_qps=20_000.0), name="steady")
+MIX = Workload(
+    arrivals=PoissonArrivals(rate_qps=10_000.0),
+    mix=TrafficMix.of((DLRM1, 0.5), (DLRM2, 0.5)),
+    name="blend",
+)
+
+
+class TestExperimentServe:
+    def test_grid_spans_backends_and_workloads(self):
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("cpu", "centaur")
+            .models(DLRM2)
+            .workloads(FAST, MIX)
+            .serve(num_requests=400, seed=1)
+        )
+        assert isinstance(grid, ServingExperimentResult)
+        assert len(grid) == 4
+        assert grid.backends() == ["cpu", "centaur"]
+        assert grid.workload_names() == ["steady", "blend"]
+
+    def test_get_and_filter(self):
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("centaur")
+            .models(DLRM2)
+            .workloads(FAST)
+            .serve(num_requests=300, seed=0)
+        )
+        report = grid.get("centaur", "steady")
+        assert report.completed_requests == 300
+        assert grid.get("centaur", "steady", DLRM2.name) is report
+        assert grid.filter(backend="centaur") == [report]
+        with pytest.raises(KeyError):
+            grid.get("centaur", "nope")
+
+    def test_mix_workload_reports_blend_label(self):
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("centaur")
+            .models(DLRM2)
+            .workloads(MIX)
+            .serve(num_requests=400, seed=2)
+        )
+        report = grid.get("centaur", "blend")
+        assert report.model_name == MIX.mix.label
+        assert report.completed_requests == 400
+
+    def test_deterministic_across_runs(self):
+        def run():
+            return (
+                Experiment(HARPV2_SYSTEM)
+                .backends("centaur")
+                .models(DLRM2)
+                .workloads(FAST)
+                .serve(num_requests=200, seed=7)
+            )
+
+        assert run().get("centaur", "steady").latency.p99_s == run().get(
+            "centaur", "steady"
+        ).latency.p99_s
+
+    def test_replica_fanout(self):
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("cpu")
+            .models(DLRM2)
+            .workloads(FAST)
+            .serve(num_requests=400, replicas=3, seed=0)
+        )
+        report = grid.get("cpu", "steady")
+        assert report.num_replicas == 3
+        assert report.completed_requests == 400
+
+    def test_to_csv_one_row_per_point(self):
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("cpu", "centaur")
+            .models(DLRM2)
+            .workloads(FAST)
+            .serve(num_requests=200, seed=0)
+        )
+        lines = grid.to_csv().strip().splitlines()
+        assert lines[0].startswith("backend,workload,model")
+        assert len(lines) == 1 + len(grid)
+
+    def test_render_serving_grid(self):
+        from repro.analysis import render_serving_grid
+
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("centaur")
+            .models(DLRM2)
+            .workloads(FAST)
+            .serve(num_requests=200, seed=0)
+        )
+        text = render_serving_grid(grid)
+        assert "steady" in text and "centaur" in text
+
+
+class TestValidation:
+    def test_serve_requires_workloads(self):
+        with pytest.raises(SimulationError, match="workloads"):
+            Experiment(HARPV2_SYSTEM).backends("cpu").serve(num_requests=10)
+
+    def test_duplicate_workload_names_rejected(self):
+        with pytest.raises(SimulationError, match="distinct"):
+            Experiment(HARPV2_SYSTEM).workloads(
+                Workload(arrivals=PoissonArrivals(1_000.0), name="dup"),
+                Workload(arrivals=PoissonArrivals(2_000.0), name="dup"),
+            )
+
+    def test_bare_rate_becomes_poisson_workload(self):
+        experiment = Experiment(HARPV2_SYSTEM).workloads(5_000.0)
+        assert len(experiment.grid_workloads) == 1
+        assert experiment.grid_workloads[0].arrivals.mean_rate_qps == 5_000.0
+
+    def test_invalid_replicas(self):
+        with pytest.raises(SimulationError, match="replicas"):
+            (
+                Experiment(HARPV2_SYSTEM)
+                .backends("cpu")
+                .models(DLRM2)
+                .workloads(FAST)
+                .serve(num_requests=10, replicas=0)
+            )

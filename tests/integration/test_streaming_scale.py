@@ -1,0 +1,78 @@
+"""Acceptance: a 5M-request streaming serving run stays O(in-flight) memory.
+
+The workload subsystem's streaming contract: serving an arbitrarily long
+request stream holds only the in-flight requests (pending batch + device
+queue + the driver's single look-ahead arrival) resident.  This test drives
+five million requests through the event engine and asserts the peak resident
+request count against the in-flight bound — not against the stream length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DLRM2
+from repro.config.models import DLRMConfig
+from repro.results import InferenceResult, LatencyBreakdown
+from repro.serving.batching import FixedSizeBatching
+from repro.serving.replica import ReplicaServer, ServiceModel, drive_stream
+from repro.sim.engine import Simulator
+from repro.workloads import ConstantRateArrivals, Workload
+
+TOTAL_REQUESTS = 5_000_000
+BATCH_CAP = 1_024
+
+
+@dataclass
+class FlatRunner:
+    """Constant-latency device so the run prices batches in O(1)."""
+
+    latency_s: float = 2e-5
+    design_point: str = "Flat"
+
+    def run(self, model: DLRMConfig, batch_size: int) -> InferenceResult:
+        return InferenceResult(
+            design_point=self.design_point,
+            model_name=model.name,
+            batch_size=batch_size,
+            breakdown=LatencyBreakdown({"Total": self.latency_s}),
+            power_watts=10.0,
+        )
+
+
+def test_five_million_requests_hold_only_in_flight_memory():
+    # Offered load ~20% of device capacity (1024 / 2e-5 = 51.2M QPS), so the
+    # device keeps up and in-flight work stays near two batches.
+    workload = Workload(
+        arrivals=ConstantRateArrivals(rate_qps=10_000_000.0), name="scale-5m"
+    )
+    sim = Simulator()
+    replica = ReplicaServer(
+        sim,
+        ServiceModel(FlatRunner(), DLRM2),
+        FixedSizeBatching(batch_size=BATCH_CAP),
+        record_latency_samples=False,
+    )
+    stream = workload.requests(num_requests=TOTAL_REQUESTS)
+    outcome = drive_stream(sim, [replica], stream, lambda request: replica)
+
+    # Every request arrived and completed (conservation at 5M scale).
+    assert outcome.scheduled == TOTAL_REQUESTS
+    assert outcome.completed == TOTAL_REQUESTS
+    assert replica.completed_count == TOTAL_REQUESTS
+
+    # Peak resident requests <= max in-flight: what the replica ever held
+    # outstanding plus the driver's single scheduled look-ahead arrival.
+    assert outcome.peak_resident <= replica.peak_outstanding + 1
+    # And max in-flight is a handful of batches, unrelated to stream length.
+    assert replica.peak_outstanding <= 4 * BATCH_CAP
+    assert outcome.peak_resident <= 4 * BATCH_CAP + 1
+
+    # No-samples mode retains neither per-request floats nor per-batch
+    # records; only counters and running aggregates grow.
+    assert len(replica.request_latency_s) == 0
+    assert len(replica.executed) == 0
+    # Full batches plus one flushed partial batch at end of stream.
+    assert replica.batch_count == -(-TOTAL_REQUESTS // BATCH_CAP)
+    assert replica.mean_latency_s > 0.0
+    assert replica.latency_max_s < 1e-2

@@ -21,6 +21,29 @@ class TestPoissonRequestGenerator:
         second = PoissonRequestGenerator(1000.0, seed=3).generate(num_requests=50)
         assert [r.arrival_time_s for r in first] == [r.arrival_time_s for r in second]
 
+    def test_repeated_generate_calls_restart_from_seed(self):
+        """Regression: one instance, two generate() calls, identical streams.
+
+        The generator used to keep advancing a single RNG stream across
+        calls, so "same seed" only meant "same arrivals" on a fresh object.
+        Every call now restarts from the stored seed.
+        """
+        generator = PoissonRequestGenerator(1000.0, seed=3)
+        first = generator.generate(num_requests=50)
+        second = generator.generate(num_requests=50)
+        assert [r.arrival_time_s for r in first] == [r.arrival_time_s for r in second]
+        # Mixed-mode calls share the stream prefix too.
+        by_duration = generator.generate(duration_s=first[-1].arrival_time_s)
+        assert [r.arrival_time_s for r in by_duration] == [
+            r.arrival_time_s for r in first
+        ]
+
+    def test_stream_matches_generate(self):
+        generator = PoissonRequestGenerator(2000.0, seed=9)
+        eager = generator.generate(num_requests=40)
+        lazy = list(generator.stream(num_requests=40))
+        assert [r.arrival_time_s for r in eager] == [r.arrival_time_s for r in lazy]
+
     def test_arrivals_sorted_and_ids_sequential(self):
         requests = PoissonRequestGenerator(500.0, seed=0).generate(num_requests=100)
         times = [r.arrival_time_s for r in requests]

@@ -1,0 +1,68 @@
+"""The legacy shim modules must warn exactly once — and only when used.
+
+``repro.dlrm.trace`` and ``repro.serving.requests`` are deprecated shims
+over :mod:`repro.workloads`.  Importing them must emit exactly one
+``DeprecationWarning`` per process (module caching makes repeat imports
+silent), and importing the *package* surface (``repro``, ``repro.serving``,
+``repro.dlrm``) must emit none — internal code is off the shims.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def _run(code: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-W", "always::DeprecationWarning", "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stderr
+
+
+@pytest.mark.parametrize("shim", ["repro.dlrm.trace", "repro.serving.requests"])
+def test_shim_warns_exactly_once(shim):
+    stderr = _run(
+        "import importlib\n"
+        f"import {shim}\n"
+        f"importlib.import_module({shim!r})\n"
+        f"import {shim}\n"
+    )
+    assert stderr.count("DeprecationWarning") == 1, stderr
+    assert "repro.workloads" in stderr
+
+
+def test_package_imports_are_warning_free():
+    """`import repro` and friends must not touch the deprecated shims."""
+    subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            "-c",
+            "import repro, repro.serving, repro.dlrm, repro.workloads, "
+            "repro.experiment, repro.cli",
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+
+
+def test_shims_reexport_the_real_objects():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        import repro.dlrm.trace as trace_shim
+        import repro.serving.requests as requests_shim
+    from repro.workloads.arrivals import InferenceRequest, PoissonRequestGenerator
+    from repro.workloads.traces import SparseTrace, UniformTraceGenerator
+
+    assert trace_shim.SparseTrace is SparseTrace
+    assert trace_shim.UniformTraceGenerator is UniformTraceGenerator
+    assert requests_shim.InferenceRequest is InferenceRequest
+    assert requests_shim.PoissonRequestGenerator is PoissonRequestGenerator
