@@ -42,6 +42,8 @@ from repro.analysis.tables import (
     table5_related_work,
 )
 from repro.analysis.report import (
+    render_autoscale_timeline,
+    render_capacity_plan,
     render_experiment,
     render_figure5,
     render_figure6,
@@ -90,6 +92,8 @@ __all__ = [
     "table3_module_resources",
     "table4_power",
     "table5_related_work",
+    "render_autoscale_timeline",
+    "render_capacity_plan",
     "render_experiment",
     "render_figure5",
     "render_figure6",

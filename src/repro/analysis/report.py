@@ -386,6 +386,123 @@ def render_workload_catalog(title: str = "Workload catalog") -> str:
     return arrivals.render() + "\n\n" + traces.render()
 
 
+def render_autoscale_timeline(
+    report,
+    sla_s: float,
+    buckets: int = 12,
+    bar_width: int = 24,
+    title: str = "Autoscale timeline",
+) -> str:
+    """Replica-count and SLA-attainment timeline of one serving run.
+
+    Buckets the run's completions into equal time windows and renders, per
+    window, the commissioned replica count (with a bar), the completions
+    and the SLA attainment — the at-a-glance view of whether the fleet
+    breathed with the load or gave back the tail.  Works for any
+    :class:`~repro.serving.cluster.ClusterReport`; static fleets render a
+    constant replica count.
+    """
+    from repro.serving.metrics import LatencyDistribution
+
+    samples: List[tuple] = []
+    for replica in report.per_replica:
+        samples.extend(replica.completion_samples())
+    if not samples:
+        raise ValueError(
+            "report carries no completion-ordered samples; serve with "
+            "record_latency_samples enabled"
+        )
+    horizon = max(time for time, _ in samples)
+    autoscale = getattr(report, "autoscale", None)
+    if autoscale is not None:
+        horizon = max(horizon, autoscale.timeline[-1][0])
+        peak = max(count for _, count in autoscale.timeline)
+        header = (
+            f"{title}: policy={autoscale.policy}, "
+            f"warmup={autoscale.warmup_s * 1e3:.1f}ms, "
+            f"replica-seconds={autoscale.replica_seconds:.3f}"
+        )
+    else:
+        peak = report.num_replicas
+        header = f"{title}: static fleet of {report.num_replicas}"
+    window = horizon / buckets if horizon > 0 else 1.0
+    table = TextTable(
+        ["window (ms)", "replicas", "fleet", "completions", f"SLA<{sla_s * 1e3:.0f}ms %"],
+        title=header,
+    )
+    for bucket in range(buckets):
+        start = bucket * window
+        # Clamp the last bucket to the horizon: buckets * (horizon/buckets)
+        # can round below horizon, which would drop the very sample (often
+        # the worst tail latency) that defined it.
+        end = horizon if bucket == buckets - 1 else (bucket + 1) * window
+        inside = [
+            latency
+            for time, latency in samples
+            if start < time <= end or (bucket == 0 and time == 0.0)
+        ]
+        distribution = LatencyDistribution(inside, allow_empty=True)
+        midpoint = (start + end) / 2.0
+        replicas = (
+            autoscale.replicas_at(midpoint)
+            if autoscale is not None
+            else report.num_replicas
+        )
+        bar = "#" * max(1, round(bar_width * replicas / max(peak, 1)))
+        table.add_row(
+            [
+                f"{start * 1e3:7.1f}-{end * 1e3:7.1f}",
+                replicas,
+                bar,
+                len(inside),
+                100.0 * distribution.sla_attainment(sla_s),
+            ]
+        )
+    return table.render()
+
+
+def render_capacity_plan(plan, title: str = "Capacity plan") -> str:
+    """Render a :class:`~repro.serving.planner.CapacityPlan` as a table."""
+    table = TextTable(
+        [
+            "backend",
+            "replicas",
+            "attainment %",
+            "p99 (ms)",
+            "replica-seconds",
+            "energy/req (mJ)",
+            "fleets simulated",
+        ],
+        title=(
+            f"{title}: {plan.model_name} under {plan.workload_name}, "
+            f"p{plan.target_attainment * 100:.0f} within "
+            f"{plan.sla_s * 1e3:.1f}ms"
+        ),
+    )
+    for point in plan.points:
+        table.add_row(
+            [
+                point.backend,
+                point.replicas if point.feasible else "infeasible",
+                100.0 * point.attainment,
+                point.p99_s * 1e3,
+                point.replica_seconds,
+                point.energy_per_request_joules * 1e3,
+                ",".join(str(count) for count in point.evaluated),
+            ]
+        )
+    rendered = table.render()
+    best = plan.best()
+    if best is not None:
+        rendered += (
+            f"\nrecommended: {best.replicas}x {best.backend} "
+            f"({100.0 * best.attainment:.2f}% within SLA)"
+        )
+    else:
+        rendered += "\nrecommended: none — no backend met the target; raise max_replicas"
+    return rendered
+
+
 def render_serving_grid(grid, sla_s: float = 5e-3, title: str = "Serving grid") -> str:
     """Render a :class:`~repro.experiment.serving.ServingExperimentResult`.
 

@@ -37,6 +37,17 @@ class BackendCapabilities:
             configurations on one device, which multi-model
             :class:`~repro.workloads.mix.TrafficMix` workloads require
             (batches execute one per-model segment at a time).
+        supports_elastic_scaling: Replicas of this backend can be
+            commissioned and drained at runtime, so
+            :class:`~repro.serving.autoscale.AutoscalingCluster` and
+            ``Experiment.autoscale`` may serve it elastically.  A backend
+            whose device cannot be hot-added (fixed appliance, exclusive
+            host resource) should clear this so autoscaled experiments fail
+            loudly instead of modelling an impossible fleet.
+        provision_warmup_s: Realistic commission-to-traffic delay for one
+            replica of this device — model load for CPUs, bitstream /
+            partial-reconfiguration time for FPGAs.  Used as the default
+            ``warmup_s`` of autoscaled fleets built through the registry.
         supports_skewed_traces: The backend's performance model remains
             *valid* (possibly conservative) for non-uniform index streams
             (Zipf / hot-cold working sets).  The built-in analytic runners
@@ -58,6 +69,8 @@ class BackendCapabilities:
     stages: Tuple[str, ...] = ()
     supports_multi_model: bool = True
     supports_skewed_traces: bool = True
+    supports_elastic_scaling: bool = True
+    provision_warmup_s: float = 0.0
 
     def supports_workload(self, workload) -> bool:
         """True when a workload's requirements fit these capabilities."""

@@ -11,7 +11,12 @@ Subcommands:
   workload subsystem can build from compact specs.
 * ``repro serve --backend centaur --model DLRM2 --workload bursty:on=40000
   --requests 20000`` — stream a workload through the event-driven serving
-  simulator and print the tail-latency report.
+  simulator and print the tail-latency report.  Add ``--autoscale
+  util:target=0.7`` to serve on an elastic fleet and print its
+  replica-count/attainment timeline.
+* ``repro plan --model DLRM2 --workload diurnal:trough=5000,peak=40000
+  --duration 0.5 --sla 0.005`` — search the minimal fleet per backend that
+  meets a p99 SLA target for the workload.
 
 Models accept Table I shorthand: ``DLRM3``, ``DLRM(3)`` and ``3`` all name
 the third configuration.
@@ -129,8 +134,10 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.analysis.report import render_serving_comparison
-    from repro.experiment.serving import check_workload_support
+    from repro.analysis.report import render_autoscale_timeline, render_serving_comparison
+    from repro.backends import backend_registration
+    from repro.experiment.serving import check_elastic_support, check_workload_support
+    from repro.serving.autoscale import AutoscalingCluster, parse_autoscaler_spec
     from repro.serving.batching import TimeoutBatching
     from repro.serving.cluster import ClusterSimulator
     from repro.serving.simulator import ServingSimulator
@@ -148,7 +155,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     model = parse_model(args.model)
     backend = get_backend(args.backend, HARPV2_SYSTEM)
     batching = TimeoutBatching(window_s=args.window, max_batch_size=args.max_batch)
-    if args.replicas == 1:
+    timeline = None
+    if args.autoscale is not None:
+        check_elastic_support(args.backend)
+        policy = parse_autoscaler_spec(args.autoscale)
+        warmup = (
+            args.warmup
+            if args.warmup is not None
+            else backend_registration(args.backend).capabilities.provision_warmup_s
+        )
+        cluster = AutoscalingCluster(
+            backend,
+            model,
+            policy=policy,
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            # --replicas sizes the fleet at time zero; left at its default
+            # of 1 the elastic fleet starts at the --min-replicas floor.
+            initial_replicas=args.replicas if args.replicas > 1 else None,
+            control_interval_s=args.control_interval,
+            warmup_s=warmup,
+            batching=batching,
+        )
+        report = cluster.serve_workload(
+            workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
+        )
+        label = f"{backend.design_point} autoscaled ({policy.name})"
+        timeline = render_autoscale_timeline(report, sla_s=args.sla)
+    elif args.replicas == 1:
         simulator = ServingSimulator(backend, model, batching=batching)
         report = simulator.serve_workload(
             workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
@@ -176,7 +210,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             title=f"Serving {model.name} under {workload.name}",
         )
     )
+    if timeline is not None:
+        print()
+        print(timeline)
     return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_capacity_plan
+    from repro.serving.batching import TimeoutBatching
+    from repro.serving.planner import CapacityPlanner
+    from repro.workloads.catalog import parse_arrival_spec, parse_trace_spec
+    from repro.workloads.workload import Workload
+
+    if (args.duration is None) == (args.requests is None):
+        print("error: provide exactly one of --duration / --requests", file=sys.stderr)
+        return 2
+    workload = Workload(
+        arrivals=parse_arrival_spec(args.workload),
+        trace=parse_trace_spec(args.trace),
+    )
+    model = parse_model(args.model)
+    backends = args.backends if args.backends else list(available_backends())
+    planner = CapacityPlanner(
+        HARPV2_SYSTEM,
+        sla_s=args.sla,
+        target_attainment=args.attainment,
+        max_replicas=args.max_replicas,
+        batching=TimeoutBatching(window_s=args.window, max_batch_size=args.max_batch),
+        seed=args.seed,
+    )
+    plan = planner.plan(
+        workload,
+        model,
+        backends=backends,
+        duration_s=args.duration,
+        num_requests=args.requests,
+    )
+    print(f"workload: {workload.describe()}")
+    print(render_capacity_plan(plan))
+    return 0 if plan.best() is not None else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,7 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None, help="serve this many simulated seconds"
     )
     serve_parser.add_argument(
-        "--replicas", type=int, default=1, help="identical replicas behind the dispatcher"
+        "--replicas",
+        type=int,
+        default=1,
+        help=(
+            "identical replicas behind the dispatcher; with --autoscale this "
+            "is the fleet size at time zero (default: the --min-replicas floor)"
+        ),
     )
     serve_parser.add_argument(
         "--window", type=float, default=1e-3, help="batching window in seconds"
@@ -256,7 +335,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--sla", type=float, default=5e-3, help="SLA budget in seconds for attainment"
     )
     serve_parser.add_argument("--seed", type=int, default=0, help="workload stream seed")
+    serve_parser.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "serve on an elastic fleet driven by an autoscaler spec, e.g. "
+            "util:target=0.7 / queue:high=8,low=1 / ewma:rate=20000 / "
+            "schedule:0=1,0.5=4"
+        ),
+    )
+    serve_parser.add_argument(
+        "--min-replicas", type=int, default=1, help="autoscaling floor (default 1)"
+    )
+    serve_parser.add_argument(
+        "--max-replicas", type=int, default=8, help="autoscaling ceiling (default 8)"
+    )
+    serve_parser.add_argument(
+        "--control-interval",
+        type=float,
+        default=10e-3,
+        help="autoscaler control tick in seconds (default 0.01)",
+    )
+    serve_parser.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="replica warm-up in seconds (default: the backend's registered hint)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="search the minimal fleet meeting a p99 SLA per backend"
+    )
+    plan_parser.add_argument(
+        "--backends", nargs="+", default=None, help="registry names (default: all)"
+    )
+    plan_parser.add_argument("--model", required=True, help="Table I model, e.g. DLRM2")
+    plan_parser.add_argument(
+        "--workload",
+        default="poisson:20000",
+        help="arrival spec (see list-workloads)",
+    )
+    plan_parser.add_argument(
+        "--trace", default="uniform", help="trace spec (default uniform)"
+    )
+    plan_parser.add_argument(
+        "--requests", type=int, default=None, help="plan against this many requests"
+    )
+    plan_parser.add_argument(
+        "--duration", type=float, default=None, help="plan against this many seconds"
+    )
+    plan_parser.add_argument(
+        "--sla", type=float, default=5e-3, help="SLA budget in seconds (default 5ms)"
+    )
+    plan_parser.add_argument(
+        "--attainment",
+        type=float,
+        default=0.99,
+        help="fraction of requests that must meet the SLA (default 0.99)",
+    )
+    plan_parser.add_argument(
+        "--max-replicas", type=int, default=64, help="search ceiling (default 64)"
+    )
+    plan_parser.add_argument(
+        "--window", type=float, default=1e-3, help="batching window in seconds"
+    )
+    plan_parser.add_argument(
+        "--max-batch", type=int, default=64, help="batching size cap"
+    )
+    plan_parser.add_argument("--seed", type=int, default=0, help="workload stream seed")
+    plan_parser.set_defaults(handler=_cmd_plan)
     return parser
 
 

@@ -133,6 +133,8 @@ CENTAUR_CAPABILITIES = BackendCapabilities(
     uses_accelerator=True,
     offloads_embeddings=True,
     stages=("IDX", "EMB", "DNF", "MLP", "Other"),
+    # FPGA partial reconfiguration dominates Centaur's commission time.
+    provision_warmup_s=10e-3,
 )
 
 

@@ -21,6 +21,8 @@ CPU_CAPABILITIES = BackendCapabilities(
     uses_accelerator=False,
     offloads_embeddings=False,
     stages=("EMB", "MLP", "Other"),
+    # A CPU replica is traffic-ready once the embedding tables are paged in.
+    provision_warmup_s=2e-3,
 )
 
 

@@ -23,6 +23,8 @@ from repro.experiment.experiment import (
 from repro.experiment.serving import (
     ServingExperimentResult,
     ServingKey,
+    autoscale_grid,
+    check_elastic_support,
     check_workload_support,
     serve_grid,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "ServingExperimentResult",
     "ServingKey",
     "VariantSweep",
+    "autoscale_grid",
+    "check_elastic_support",
     "check_workload_support",
     "default_cache",
     "model_fingerprint",

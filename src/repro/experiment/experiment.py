@@ -418,6 +418,106 @@ class Experiment:
             seed=seed,
         )
 
+    def autoscale(
+        self,
+        policy,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        control_interval_s: float = 10e-3,
+        warmup_s: Optional[float] = None,
+        idle_power_w: float = 0.0,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        batching=None,
+        dispatcher=None,
+        seed: int = 0,
+    ):
+        """Run the serving grid on elastic fleets driven by ``policy``.
+
+        Like :meth:`serve` but every (backend, workload) point is served by
+        an :class:`~repro.serving.autoscale.AutoscalingCluster` breathing
+        between ``min_replicas`` and ``max_replicas``; reports carry the
+        run's :class:`~repro.serving.cluster.AutoscaleReport` (replica-hour
+        and energy accounting).  ``warmup_s=None`` uses each backend's
+        registered provisioning-delay hint.  Requires :meth:`workloads`.
+        """
+        if not self._workloads:
+            raise SimulationError(
+                "no workloads selected; call .workloads(...) before .autoscale()"
+            )
+        from repro.experiment.serving import autoscale_grid
+
+        return autoscale_grid(
+            self.system,
+            self.backend_names,
+            self._workloads,
+            self._models,
+            policy,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            control_interval_s=control_interval_s,
+            warmup_s=warmup_s,
+            idle_power_w=idle_power_w,
+            duration_s=duration_s,
+            num_requests=num_requests,
+            batching=batching,
+            dispatcher=dispatcher,
+            seed=seed,
+        )
+
+    def plan_capacity(
+        self,
+        sla_s: float,
+        target_attainment: float = 0.99,
+        model: Optional[DLRMConfig] = None,
+        max_replicas: int = 64,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        batching=None,
+        dispatcher=None,
+        seed: int = 0,
+    ) -> Dict[str, "CapacityPlan"]:
+        """Search the minimal fleet per backend meeting a p99 SLA target.
+
+        Runs a :class:`~repro.serving.planner.CapacityPlanner` over the
+        experiment's backends for every selected workload and returns
+        ``{workload name: CapacityPlan}``.  Single-model planning only: the
+        planned model is ``model``, or the experiment's model axis when it
+        holds exactly one entry.  Requires :meth:`workloads`.
+        """
+        if not self._workloads:
+            raise SimulationError(
+                "no workloads selected; call .workloads(...) before .plan_capacity()"
+            )
+        if model is None:
+            if len(self._models) != 1:
+                raise SimulationError(
+                    f"capacity planning needs one model; the grid holds "
+                    f"{len(self._models)} — pass model=..."
+                )
+            model = self._models[0]
+        from repro.serving.planner import CapacityPlanner
+
+        planner = CapacityPlanner(
+            self.system,
+            sla_s=sla_s,
+            target_attainment=target_attainment,
+            max_replicas=max_replicas,
+            batching=batching,
+            dispatcher=dispatcher,
+            seed=seed,
+        )
+        return {
+            workload.name: planner.plan(
+                workload,
+                model,
+                backends=self.backend_names,
+                duration_s=duration_s,
+                num_requests=num_requests,
+            )
+            for workload in self._workloads
+        }
+
 
 class VariantSweep:
     """A grid over synthesized model variants, addressable by sweep value.

@@ -177,6 +177,134 @@ def check_workload_support(backend_name: str, workload: Workload) -> None:
         )
 
 
+def check_elastic_support(backend_name: str) -> None:
+    """Raise :class:`ConfigurationError` when a backend cannot scale elastically."""
+    registration = backend_registration(backend_name)
+    if not registration.capabilities.supports_elastic_scaling:
+        raise ConfigurationError(
+            f"backend {registration.name!r} does not support elastic scaling; "
+            "serve it through a static fleet instead"
+        )
+
+
+def _run_serving_grid(
+    system: SystemConfig,
+    backend_names: Sequence[str],
+    workloads: Sequence[Workload],
+    models: Sequence[DLRMConfig],
+    make_simulator,
+    duration_s: Optional[float],
+    num_requests: Optional[int],
+    seed: int,
+) -> ServingExperimentResult:
+    """The shared backends x workloads fan-out both grid flavours run.
+
+    ``make_simulator(backend_name, backend, model)`` builds whichever
+    serving front-end the grid evaluates (single device, static cluster,
+    elastic cluster).  Simulators are cached per (backend, default model)
+    and reused across workloads, so each device point is priced once for
+    the whole grid — the same pricing discipline the batch ``Experiment``
+    gets from its ``ResultCache``.  Single-model workloads fan out over
+    ``models``; workloads carrying a traffic mix serve their own blend
+    (one point each).
+    """
+    if not workloads:
+        raise SimulationError("a serving grid needs at least one workload")
+    outcome = ServingExperimentResult(system)
+    simulators: Dict[Tuple[str, str], object] = {}
+    for backend_name in backend_names:
+        backend = get_backend(backend_name, system)
+        for workload in workloads:
+            if workload.mix is not None:
+                grid_models: Tuple[Optional[DLRMConfig], ...] = (None,)
+            else:
+                if not models:
+                    raise SimulationError(
+                        f"workload {workload.name!r} carries no traffic mix and "
+                        "the experiment selected no models"
+                    )
+                grid_models = tuple(models)
+            for model in grid_models:
+                default_model = model if model is not None else workload.models[0]
+                point_key = (backend_name, default_model.name)
+                simulator = simulators.get(point_key)
+                if simulator is None:
+                    simulator = make_simulator(backend_name, backend, default_model)
+                    simulators[point_key] = simulator
+                report: AnyReport = simulator.serve_workload(
+                    workload,
+                    duration_s=duration_s,
+                    num_requests=num_requests,
+                    seed=seed,
+                )
+                outcome.add(backend_name, workload.name, report.model_name, report)
+    return outcome
+
+
+def autoscale_grid(
+    system: SystemConfig,
+    backend_names: Sequence[str],
+    workloads: Sequence[Workload],
+    models: Sequence[DLRMConfig],
+    policy,
+    min_replicas: int = 1,
+    max_replicas: int = 8,
+    control_interval_s: float = 10e-3,
+    warmup_s: Optional[float] = None,
+    idle_power_w: float = 0.0,
+    duration_s: Optional[float] = None,
+    num_requests: Optional[int] = None,
+    batching: Optional[BatchingPolicy] = None,
+    dispatcher: Optional[Dispatcher] = None,
+    seed: int = 0,
+) -> ServingExperimentResult:
+    """Evaluate a backends x workloads grid on elastic (autoscaled) fleets.
+
+    Mirrors :func:`serve_grid` with an :class:`~repro.serving.autoscale.
+    AutoscalerPolicy` driving each fleet between ``min_replicas`` and
+    ``max_replicas``.  Every point is gated on both workload capability and
+    elastic-scaling support; ``warmup_s=None`` takes each backend's
+    registered ``provision_warmup_s`` hint, so a Centaur fleet pays its
+    FPGA reconfiguration time while a CPU fleet warms in a fraction of it.
+    """
+    from repro.serving.autoscale import AutoscalingCluster
+
+    for backend_name in backend_names:
+        check_elastic_support(backend_name)
+        for workload in workloads:
+            check_workload_support(backend_name, workload)
+
+    def make_simulator(backend_name, backend, model):
+        backend_warmup = (
+            warmup_s
+            if warmup_s is not None
+            else backend_registration(backend_name).capabilities.provision_warmup_s
+        )
+        return AutoscalingCluster(
+            backend,
+            model,
+            policy=policy,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            control_interval_s=control_interval_s,
+            warmup_s=backend_warmup,
+            idle_power_w=idle_power_w,
+            batching=batching,
+            dispatcher=dispatcher,
+        )
+
+    return _run_serving_grid(
+        system,
+        backend_names,
+        workloads,
+        models,
+        make_simulator,
+        duration_s,
+        num_requests,
+        seed,
+    )
+
+
 def serve_grid(
     system: SystemConfig,
     backend_names: Sequence[str],
@@ -197,55 +325,30 @@ def serve_grid(
     :class:`ServingExperimentResult` keyed by
     ``(backend, workload name, model label)``.
     """
-    if not workloads:
-        raise SimulationError("a serving grid needs at least one workload")
     if replicas <= 0:
         raise SimulationError(f"replicas must be positive, got {replicas}")
     for backend_name in backend_names:
         for workload in workloads:
             check_workload_support(backend_name, workload)
 
-    outcome = ServingExperimentResult(system)
-    # One simulator per (backend, default model), reused across workloads, so
-    # its ServiceModel cache prices each (backend, model, batch size) device
-    # point once for the whole grid — the same pricing discipline the batch
-    # Experiment gets from its ResultCache.
-    simulators: Dict[Tuple[str, str], Union[ServingSimulator, ClusterSimulator]] = {}
-    for backend_name in backend_names:
-        backend = get_backend(backend_name, system)
-        for workload in workloads:
-            if workload.mix is not None:
-                grid_models: Tuple[Optional[DLRMConfig], ...] = (None,)
-            else:
-                if not models:
-                    raise SimulationError(
-                        f"workload {workload.name!r} carries no traffic mix and "
-                        "the experiment selected no models"
-                    )
-                grid_models = tuple(models)
-            for model in grid_models:
-                default_model = model if model is not None else workload.models[0]
-                point_key = (backend_name, default_model.name)
-                simulator = simulators.get(point_key)
-                if simulator is None:
-                    if replicas == 1:
-                        simulator = ServingSimulator(
-                            backend, default_model, batching=batching
-                        )
-                    else:
-                        simulator = ClusterSimulator(
-                            backend,
-                            default_model,
-                            num_replicas=replicas,
-                            batching=batching,
-                            dispatcher=dispatcher,
-                        )
-                    simulators[point_key] = simulator
-                report: AnyReport = simulator.serve_workload(
-                    workload,
-                    duration_s=duration_s,
-                    num_requests=num_requests,
-                    seed=seed,
-                )
-                outcome.add(backend_name, workload.name, report.model_name, report)
-    return outcome
+    def make_simulator(backend_name, backend, model):
+        if replicas == 1:
+            return ServingSimulator(backend, model, batching=batching)
+        return ClusterSimulator(
+            backend,
+            model,
+            num_replicas=replicas,
+            batching=batching,
+            dispatcher=dispatcher,
+        )
+
+    return _run_serving_grid(
+        system,
+        backend_names,
+        workloads,
+        models,
+        make_simulator,
+        duration_s,
+        num_requests,
+        seed,
+    )

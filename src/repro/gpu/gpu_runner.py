@@ -29,6 +29,8 @@ CPU_GPU_CAPABILITIES = BackendCapabilities(
     uses_accelerator=True,
     offloads_embeddings=False,
     stages=("EMB", "PCIe", "MLP", "Other"),
+    # CUDA context + weight upload over PCIe before the first batch.
+    provision_warmup_s=5e-3,
 )
 
 

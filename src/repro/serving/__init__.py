@@ -33,11 +33,23 @@ from repro.serving.dispatch import (
     RoundRobinDispatcher,
 )
 from repro.serving.cluster import (
+    AutoscaleReport,
     ClusterReport,
     ClusterSimulator,
     HeterogeneousCluster,
     ReplicaSpec,
 )
+from repro.serving.autoscale import (
+    AutoscalerPolicy,
+    AutoscalingCluster,
+    ClusterObservation,
+    EWMAPolicy,
+    QueueDepthPolicy,
+    ScheduledPolicy,
+    TargetUtilizationPolicy,
+    parse_autoscaler_spec,
+)
+from repro.serving.planner import CapacityPlan, CapacityPlanner, CapacityPoint
 
 __all__ = [
     "InferenceRequest",
@@ -65,4 +77,16 @@ __all__ = [
     "ClusterSimulator",
     "HeterogeneousCluster",
     "ReplicaSpec",
+    "AutoscaleReport",
+    "AutoscalerPolicy",
+    "AutoscalingCluster",
+    "ClusterObservation",
+    "QueueDepthPolicy",
+    "TargetUtilizationPolicy",
+    "ScheduledPolicy",
+    "EWMAPolicy",
+    "parse_autoscaler_spec",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "CapacityPoint",
 ]

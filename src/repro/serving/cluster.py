@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.registry import resolve_backend
 from repro.config.models import DLRMConfig
@@ -29,7 +29,13 @@ from repro.errors import SimulationError
 from repro.serving.batching import BatchingPolicy, default_batching
 from repro.serving.dispatch import Dispatcher, RoundRobinDispatcher
 from repro.serving.metrics import LatencyDistribution, ServingReport
-from repro.serving.replica import DesignPointRunner, ReplicaServer, ServiceModel, drive_stream
+from repro.serving.replica import (
+    DesignPointRunner,
+    ReplicaServer,
+    ServiceModel,
+    StreamOutcome,
+    drive_stream,
+)
 from repro.sim.engine import Simulator
 from repro.workloads.arrivals import InferenceRequest, PoissonArrivals
 from repro.workloads.workload import Workload
@@ -52,6 +58,51 @@ class ReplicaSpec:
 
 
 @dataclass(frozen=True)
+class AutoscaleReport:
+    """Elastic-fleet accounting of one autoscaled serving run.
+
+    Attributes:
+        policy: Name of the :class:`~repro.serving.autoscale.AutoscalerPolicy`.
+        control_interval_s: Spacing of the controller's timed events.
+        warmup_s: Commission-to-traffic delay each new replica paid.
+        timeline: ``(time_s, commissioned_replicas)`` change points —
+            commissioned means paid for: active, warming up, or draining.
+        replica_seconds: Total commissioned time summed over the fleet (the
+            replica-hours bill, in seconds).
+        peak_replicas: Largest commissioned count the run reached.
+        scale_up_events: Replica commissions (including drain reclaims).
+        scale_down_events: Replica decommissions (including warm-up cancels).
+        busy_energy_joules: Energy the devices spent executing batches.
+        idle_energy_joules: Energy charged for commissioned-but-idle time
+            (``idle_power_w`` times the non-busy replica-seconds).
+    """
+
+    policy: str
+    control_interval_s: float
+    warmup_s: float
+    timeline: Tuple[Tuple[float, int], ...]
+    replica_seconds: float
+    peak_replicas: int
+    scale_up_events: int
+    scale_down_events: int
+    busy_energy_joules: float
+    idle_energy_joules: float
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self.busy_energy_joules + self.idle_energy_joules
+
+    def replicas_at(self, time_s: float) -> int:
+        """Commissioned replica count at a simulated time."""
+        count = self.timeline[0][1]
+        for change_s, changed in self.timeline:
+            if change_s > time_s:
+                break
+            count = changed
+        return count
+
+
+@dataclass(frozen=True)
 class ClusterReport:
     """Aggregate serving behaviour of a replica group."""
 
@@ -61,6 +112,7 @@ class ClusterReport:
     per_replica: List[ServingReport]
     latency: LatencyDistribution
     dispatcher: str = "round-robin"
+    autoscale: Optional[AutoscaleReport] = None
 
     @property
     def completed_requests(self) -> int:
@@ -81,6 +133,22 @@ class ClusterReport:
         return sum(report.device_utilization for report in self.per_replica) / len(
             self.per_replica
         )
+
+    @property
+    def makespan_s(self) -> float:
+        """Time the slowest replica finished its last batch."""
+        return max(report.makespan_s for report in self.per_replica)
+
+    @property
+    def replica_seconds(self) -> float:
+        """The fleet's replica-hours bill, in seconds.
+
+        A static fleet pays every replica for the whole run; an autoscaled
+        fleet pays exactly the commissioned time its controller accounted.
+        """
+        if self.autoscale is not None:
+            return self.autoscale.replica_seconds
+        return self.num_replicas * self.makespan_s
 
     @property
     def device_utilization(self) -> float:
@@ -139,6 +207,8 @@ class HeterogeneousCluster:
         self._caches = {}
         for spec in self.specs:
             self._caches.setdefault(id(spec.runner), {})
+        #: Conservation counters of the most recent :meth:`serve` call.
+        self.last_outcome: Optional[StreamOutcome] = None
 
     @classmethod
     def from_backends(
@@ -180,6 +250,32 @@ class HeterogeneousCluster:
         return "+".join(seen)
 
     # ------------------------------------------------------------------
+    def _dispatch(self, replicas: Sequence[ReplicaServer], request, now: float) -> ReplicaServer:
+        """Ask the dispatcher for a replica, validating its choice."""
+        index = self.dispatcher.select(replicas, request, now)
+        if not 0 <= index < len(replicas):
+            raise SimulationError(
+                f"{self.dispatcher.name} selected invalid replica {index} "
+                f"of {len(replicas)}"
+            )
+        return replicas[index]
+
+    def _collect_reports(
+        self, replicas: Sequence[ReplicaServer], label: str
+    ) -> Tuple[List[ServingReport], LatencyDistribution]:
+        """Per-replica reports (replicas that served) + pooled latencies."""
+        reports: List[ServingReport] = []
+        latencies: List[float] = []
+        for replica in replicas:
+            if not replica.arrival_count:
+                continue
+            report = replica.build_report(label)
+            reports.append(report)
+            latencies.extend(report.latency.samples_s.tolist())
+        if not reports:
+            raise SimulationError("no replica received any requests")
+        return reports, LatencyDistribution(latencies)
+
     def _build_replicas(
         self, sim: Simulator, extra_models: Sequence[DLRMConfig] = ()
     ) -> List[ReplicaServer]:
@@ -220,35 +316,21 @@ class HeterogeneousCluster:
         self.dispatcher.reset()
 
         def route(request):
-            index = self.dispatcher.select(replicas, request, sim.now)
-            if not 0 <= index < len(replicas):
-                raise SimulationError(
-                    f"{self.dispatcher.name} selected invalid replica {index} "
-                    f"of {len(replicas)}"
-                )
-            return replicas[index]
+            return self._dispatch(replicas, request, sim.now)
 
         outcome = drive_stream(sim, replicas, requests, route)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
+        self.last_outcome = outcome
 
         label = report_label or self.model.name
-        reports: List[ServingReport] = []
-        latencies: List[float] = []
-        for replica in replicas:
-            if not replica.arrival_count:
-                continue
-            report = replica.build_report(label)
-            reports.append(report)
-            latencies.extend(report.latency.samples_s.tolist())
-        if not reports:
-            raise SimulationError("no replica received any requests")
+        reports, latency = self._collect_reports(replicas, label)
         return ClusterReport(
             design_point=self.design_point,
             model_name=label,
             num_replicas=self.num_replicas,
             per_replica=reports,
-            latency=LatencyDistribution(latencies),
+            latency=latency,
             dispatcher=self.dispatcher.name,
         )
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -34,12 +34,20 @@ class LatencyDistribution:
     Samples are sorted once at construction; every statistic and percentile
     query reads the sorted array, and the common tail percentiles
     (p50/p95/p99) are computed together in a single vectorized pass.
+
+    Distributions are non-empty by default (a serving run that completed
+    nothing is a bug, not a statistic).  Pass ``allow_empty=True`` for
+    windowed views — e.g. one bucket of an autoscaling attainment timeline
+    in which no request happened to complete.  An empty distribution answers
+    :meth:`sla_attainment` vacuously (1.0) and raises a clear
+    :class:`~repro.errors.SimulationError` from every statistic that needs
+    at least one sample.
     """
 
     _COMMON_PERCENTILES = (50.0, 95.0, 99.0)
 
-    def __init__(self, latencies_s: Sequence[float]):
-        if len(latencies_s) == 0:
+    def __init__(self, latencies_s: Sequence[float], allow_empty: bool = False):
+        if len(latencies_s) == 0 and not allow_empty:
             raise SimulationError("latency distribution needs at least one sample")
         array = np.asarray(latencies_s, dtype=np.float64)
         if np.any(array < 0):
@@ -55,16 +63,25 @@ class LatencyDistribution:
         """A copy of the individual latencies (sorted ascending)."""
         return self._latencies.copy()
 
+    def _require_samples(self, what: str) -> None:
+        if self._latencies.size == 0:
+            raise SimulationError(
+                f"latency distribution is empty; {what} needs at least one sample"
+            )
+
     @property
     def mean_s(self) -> float:
+        self._require_samples("mean_s")
         return float(self._latencies.mean())
 
     @property
     def max_s(self) -> float:
+        self._require_samples("max_s")
         return float(self._latencies[-1])
 
     def percentiles(self, percentiles: Sequence[float]) -> "np.ndarray":
         """Latencies at several percentiles in one vectorized pass."""
+        self._require_samples("percentiles")
         values = np.asarray(percentiles, dtype=np.float64)
         if values.size and (values.min() < 0.0 or values.max() > 100.0):
             raise SimulationError(
@@ -74,6 +91,7 @@ class LatencyDistribution:
 
     def percentile(self, percentile: float) -> float:
         """Latency at a percentile (e.g. ``99.0`` for the p99 tail)."""
+        self._require_samples("percentile")
         if not 0.0 <= percentile <= 100.0:
             raise SimulationError(f"percentile must be in [0, 100], got {percentile}")
         return float(np.percentile(self._latencies, percentile))
@@ -97,9 +115,17 @@ class LatencyDistribution:
         return self._common_percentile(99.0)
 
     def sla_attainment(self, sla_s: float) -> float:
-        """Fraction of requests finishing within an SLA budget."""
+        """Fraction of requests finishing within an SLA budget.
+
+        An empty distribution attains any SLA vacuously (1.0): zero of zero
+        requests missed the budget.  This guard is what keeps windowed
+        attainment views (timeline buckets with no completions) from dividing
+        by zero.
+        """
         if sla_s <= 0:
             raise SimulationError(f"sla_s must be positive, got {sla_s}")
+        if len(self) == 0:
+            return 1.0
         # The array is sorted, so attainment is one binary search.
         return float(np.searchsorted(self._latencies, sla_s, side="right")) / len(self)
 
@@ -120,6 +146,22 @@ class ServingReport:
     energy_joules: float
     extra: Dict[str, float] = field(default_factory=dict)
     executed_batches: Tuple[ExecutedBatch, ...] = ()
+    #: Per-request latencies in completion order (``latency`` sorts them
+    #: away); zipping against ``executed_batches`` sizes recovers each
+    #: request's completion time, which timeline renderers bucket by.
+    ordered_latency_s: Tuple[float, ...] = ()
+
+    def completion_samples(self) -> List[Tuple[float, float]]:
+        """``(completion_time_s, latency_s)`` pairs in completion order."""
+        if not self.ordered_latency_s:
+            return []
+        pairs: List[Tuple[float, float]] = []
+        cursor = 0
+        for batch in self.executed_batches:
+            for latency in self.ordered_latency_s[cursor : cursor + batch.batch_size]:
+                pairs.append((batch.finish_time_s, latency))
+            cursor += batch.batch_size
+        return pairs
 
     @property
     def achieved_qps(self) -> float:

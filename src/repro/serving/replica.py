@@ -396,6 +396,7 @@ class ReplicaServer:
             energy_joules=self.energy_joules,
             extra={"num_batches": float(len(self.executed))},
             executed_batches=tuple(self.executed),
+            ordered_latency_s=tuple(self.request_latency_s),
         )
 
 

@@ -140,3 +140,123 @@ class TestValidation:
                 .workloads(FAST)
                 .serve(num_requests=10, replicas=0)
             )
+
+
+class TestExperimentAutoscale:
+    def test_grid_reports_carry_autoscale_accounting(self):
+        from repro.serving import QueueDepthPolicy
+
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("cpu", "centaur")
+            .models(DLRM2)
+            .workloads(FAST)
+            .autoscale(
+                QueueDepthPolicy(high_watermark=16.0, low_watermark=2.0),
+                max_replicas=3,
+                num_requests=400,
+                seed=1,
+            )
+        )
+        assert len(grid) == 2
+        for backend in ("cpu", "centaur"):
+            report = grid.get(backend, "steady")
+            assert report.completed_requests == 400
+            assert report.autoscale is not None
+            assert report.autoscale.policy == "queue-depth"
+            assert report.replica_seconds > 0.0
+
+    def test_warmup_defaults_to_the_backend_hint(self):
+        from repro.backends import backend_registration
+        from repro.serving import ScheduledPolicy
+
+        grid = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("centaur")
+            .models(DLRM2)
+            .workloads(FAST)
+            .autoscale(
+                ScheduledPolicy([(0.0, 1)]),
+                max_replicas=2,
+                num_requests=200,
+                seed=0,
+            )
+        )
+        report = grid.get("centaur", "steady")
+        expected = backend_registration("centaur").capabilities.provision_warmup_s
+        assert report.autoscale.warmup_s == expected
+
+    def test_autoscale_requires_workloads(self):
+        from repro.serving import QueueDepthPolicy
+
+        with pytest.raises(SimulationError, match="workloads"):
+            Experiment(HARPV2_SYSTEM).backends("cpu").autoscale(
+                QueueDepthPolicy(), num_requests=10
+            )
+
+    def test_inelastic_backend_is_rejected_loudly(self):
+        from repro.backends import BackendCapabilities, register_backend
+        from repro.backends.registry import unregister_backend
+        from repro.cpu.cpu_runner import CPUOnlyRunner
+        from repro.errors import ConfigurationError
+        from repro.serving import QueueDepthPolicy
+
+        register_backend(
+            "fixed-appliance-test",
+            CPUOnlyRunner,
+            design_point="FixedAppliance",
+            capabilities=BackendCapabilities(supports_elastic_scaling=False),
+        )
+        try:
+            with pytest.raises(ConfigurationError, match="elastic"):
+                (
+                    Experiment(HARPV2_SYSTEM)
+                    .backends("fixed-appliance-test")
+                    .models(DLRM2)
+                    .workloads(FAST)
+                    .autoscale(QueueDepthPolicy(), num_requests=10)
+                )
+        finally:
+            unregister_backend("fixed-appliance-test")
+
+
+class TestExperimentPlanCapacity:
+    def test_plans_per_workload(self):
+        plans = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("cpu", "centaur")
+            .models(DLRM2)
+            .workloads(FAST)
+            .plan_capacity(sla_s=5e-3, num_requests=2_000, seed=0)
+        )
+        assert set(plans) == {"steady"}
+        plan = plans["steady"]
+        assert {point.backend for point in plan.points} == {"cpu", "centaur"}
+        assert plan.best() is not None
+        assert plan.get("centaur").replicas <= plan.get("cpu").replicas
+
+    def test_needs_exactly_one_model(self):
+        with pytest.raises(SimulationError, match="one model"):
+            (
+                Experiment(HARPV2_SYSTEM)
+                .backends("cpu")
+                .models(DLRM1, DLRM2)
+                .workloads(FAST)
+                .plan_capacity(sla_s=5e-3, num_requests=100)
+            )
+
+    def test_explicit_model_overrides_the_axis(self):
+        plans = (
+            Experiment(HARPV2_SYSTEM)
+            .backends("centaur")
+            .models(DLRM1, DLRM2)
+            .workloads(FAST)
+            .plan_capacity(sla_s=5e-3, model=DLRM2, num_requests=1_000)
+        )
+        assert plans["steady"].model_name == DLRM2.name
+
+    def test_requires_workloads(self):
+        with pytest.raises(SimulationError, match="workloads"):
+            Experiment(HARPV2_SYSTEM).backends("cpu").plan_capacity(
+                sla_s=5e-3, num_requests=100
+            )

@@ -1,0 +1,121 @@
+"""Determinism matrix: same seed => identical serving outcome, always.
+
+Every (dispatcher x batching x autoscaler) combination is run twice from
+scratch — fresh backend, cluster, policy and workload objects each time —
+and the two runs must agree bit for bit on the :class:`StreamOutcome`
+counters, the full latency sample array, the energy totals and (when
+autoscaled) the replica timeline.
+
+Because each test case builds everything it touches and compares only
+within itself, the assertion holds under any test ordering — including the
+work-stealing schedules ``pytest-xdist`` produces — and any leakage of
+mutable global state between cells shows up as a cross-run mismatch here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.config import DLRM2, HARPV2_SYSTEM
+from repro.serving import (
+    AdaptiveWindowBatching,
+    AutoscalingCluster,
+    CloseOnFullBatching,
+    EWMAPolicy,
+    JoinShortestQueueDispatcher,
+    LeastLoadedDispatcher,
+    PowerOfTwoChoicesDispatcher,
+    QueueDepthPolicy,
+    RoundRobinDispatcher,
+    ScheduledPolicy,
+    TargetUtilizationPolicy,
+    TimeoutBatching,
+)
+from repro.workloads import OnOffArrivals, Workload
+
+SEED = 11
+NUM_REQUESTS = 1_200
+
+DISPATCHERS = {
+    "round-robin": RoundRobinDispatcher,
+    "jsq": JoinShortestQueueDispatcher,
+    "least-loaded": LeastLoadedDispatcher,
+    "p2c": lambda: PowerOfTwoChoicesDispatcher(seed=5),
+}
+
+BATCHINGS = {
+    "timeout": lambda: TimeoutBatching(window_s=1e-3, max_batch_size=64),
+    "close-on-full": lambda: CloseOnFullBatching(batch_size=64),
+    "adaptive": lambda: AdaptiveWindowBatching(base_window_s=2e-3, max_batch_size=64),
+}
+
+AUTOSCALERS = {
+    "static": None,
+    "queue": lambda: QueueDepthPolicy(
+        high_watermark=24.0, low_watermark=2.0, cooldown_s=0.01
+    ),
+    "util": lambda: TargetUtilizationPolicy(target=0.6, deadband=0.1, cooldown_s=0.01),
+    "ewma": lambda: EWMAPolicy(alpha=0.4, headroom=1.2, replica_capacity_qps=20_000.0),
+    "schedule": lambda: ScheduledPolicy([(0.0, 2), (0.02, 3), (0.05, 1)]),
+}
+
+
+def _run(dispatcher_key: str, batching_key: str, autoscaler_key: str):
+    """One complete serving run built entirely from fresh objects."""
+    backend = get_backend("cpu", HARPV2_SYSTEM)
+    workload = Workload(
+        arrivals=OnOffArrivals(
+            on_rate_qps=50_000.0, off_rate_qps=10_000.0, mean_on_s=0.01, mean_off_s=0.01
+        ),
+        name="bursty",
+    )
+    policy_factory = AUTOSCALERS[autoscaler_key]
+    cluster = AutoscalingCluster(
+        backend,
+        DLRM2,
+        policy=policy_factory() if policy_factory is not None else None,
+        min_replicas=2,
+        max_replicas=4,
+        initial_replicas=2,
+        control_interval_s=5e-3,
+        warmup_s=2e-3,
+        dispatcher=DISPATCHERS[dispatcher_key](),
+        batching=BATCHINGS[batching_key](),
+    )
+    report = cluster.serve_workload(workload, num_requests=NUM_REQUESTS, seed=SEED)
+    return report, cluster.last_outcome
+
+
+def _fingerprint(report, outcome):
+    autoscale = report.autoscale
+    return (
+        (outcome.scheduled, outcome.completed, outcome.peak_resident),
+        report.completed_requests,
+        report.num_replicas,
+        tuple(
+            (replica.completed_requests, replica.device_busy_s, replica.energy_joules)
+            for replica in report.per_replica
+        ),
+        report.latency.samples_s.tobytes(),
+        report.total_energy_joules,
+        autoscale.timeline if autoscale is not None else None,
+        autoscale.replica_seconds if autoscale is not None else None,
+    )
+
+
+@pytest.mark.parametrize("dispatcher_key", sorted(DISPATCHERS))
+@pytest.mark.parametrize("batching_key", sorted(BATCHINGS))
+@pytest.mark.parametrize("autoscaler_key", sorted(AUTOSCALERS))
+def test_same_seed_same_outcome(dispatcher_key, batching_key, autoscaler_key):
+    first_report, first_outcome = _run(dispatcher_key, batching_key, autoscaler_key)
+    second_report, second_outcome = _run(dispatcher_key, batching_key, autoscaler_key)
+
+    assert first_outcome == second_outcome
+    assert _fingerprint(first_report, first_outcome) == _fingerprint(
+        second_report, second_outcome
+    )
+    np.testing.assert_array_equal(
+        first_report.latency.samples_s, second_report.latency.samples_s
+    )
+    # Conservation holds in every cell of the matrix.
+    assert first_outcome.scheduled == first_outcome.completed == NUM_REQUESTS

@@ -33,6 +33,28 @@ class TestLatencyDistribution:
         with pytest.raises(SimulationError):
             LatencyDistribution([1.0]).percentile(150.0)
 
+    def test_empty_distribution_sla_attainment_is_vacuous(self):
+        # Regression: this used to divide by zero. Empty windows (e.g. one
+        # bucket of an autoscale timeline with no completions) attain any
+        # SLA vacuously.
+        empty = LatencyDistribution([], allow_empty=True)
+        assert len(empty) == 0
+        assert empty.sla_attainment(1e-3) == 1.0
+        with pytest.raises(SimulationError):
+            empty.sla_attainment(0.0)  # the budget must still be positive
+
+    def test_empty_distribution_statistics_raise_clearly(self):
+        empty = LatencyDistribution([], allow_empty=True)
+        for query in (
+            lambda: empty.mean_s,
+            lambda: empty.max_s,
+            lambda: empty.p99_s,
+            lambda: empty.percentile(50.0),
+            lambda: empty.percentiles((50.0, 99.0)),
+        ):
+            with pytest.raises(SimulationError):
+                query()
+
 
 class TestServingReport:
     def _report(self):

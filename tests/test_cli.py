@@ -84,3 +84,115 @@ class TestSweep:
         lines = target.read_text(encoding="utf-8").strip().splitlines()
         assert len(lines) == 2
         assert lines[1].startswith("centaur,Centaur,DLRM(1),4")
+
+
+class TestServe:
+    def test_single_device_report(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--workload", "poisson:20000",
+                "--requests", "2000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workload: poisson @ 20,000 QPS" in out
+        assert "CPU-only x1" in out
+        assert "p99 (ms)" in out
+
+    def test_requires_exactly_one_bound(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+            ]
+        ) == 2
+        assert "exactly one of --duration / --requests" in capsys.readouterr().err
+
+    def test_autoscaled_serving_prints_timeline(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--workload", "diurnal:trough=4000,peak=40000,period=0.2",
+                "--duration", "0.2",
+                "--autoscale", "util:target=0.7,cooldown=0.02",
+                "--max-replicas", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CPU-only autoscaled (target-utilization)" in out
+        assert "Autoscale timeline" in out
+        assert "replica-seconds=" in out
+        assert "completions" in out
+
+    def test_autoscale_honours_initial_replicas(self, capsys):
+        # --replicas seeds the elastic fleet at time zero instead of being
+        # silently ignored.
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--workload", "poisson:20000",
+                "--requests", "1000",
+                "--autoscale", "schedule:0=3",
+                "--replicas", "3",
+                "--max-replicas", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Autoscale timeline" in out
+
+    def test_autoscale_rejects_bad_spec(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "500",
+                "--autoscale", "warp-speed",
+            ]
+        ) == 2
+        assert "unknown autoscaler kind" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plans_the_minimal_fleet(self, capsys):
+        assert main(
+            [
+                "plan",
+                "--backends", "cpu", "centaur",
+                "--model", "DLRM2",
+                "--workload", "poisson:60000",
+                "--requests", "4000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Capacity plan" in out
+        assert "recommended:" in out
+        assert "cpu" in out and "centaur" in out
+
+    def test_infeasible_plan_exits_nonzero(self, capsys):
+        assert main(
+            [
+                "plan",
+                "--backends", "cpu",
+                "--model", "DLRM2",
+                "--workload", "poisson:500000",
+                "--requests", "2000",
+                "--sla", "0.0001",
+                "--max-replicas", "2",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+        assert "recommended: none" in out
+
+    def test_requires_exactly_one_bound(self, capsys):
+        assert main(["plan", "--model", "DLRM2"]) == 2
+        assert "exactly one of --duration / --requests" in capsys.readouterr().err
