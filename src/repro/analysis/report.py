@@ -367,6 +367,61 @@ def render_serving_comparison(
     return table.render()
 
 
+def render_sharding_report(
+    reports,
+    sla_s: float = 5e-3,
+    title: str = "Sharded embedding serving",
+) -> str:
+    """Render sharded serving outcomes with the scale-out columns.
+
+    Args:
+        reports: A :class:`~repro.experiment.sharding.ShardingExperimentResult`
+            or a ``{row label: ClusterReport}`` mapping whose reports carry
+            :class:`~repro.serving.sharded.ShardingStats`.
+        sla_s: Latency budget used for the SLA-attainment column.
+        title: Table title.
+    """
+    if hasattr(reports, "items"):
+        rows = [(label, report) for label, report in reports.items()]
+    else:
+        rows = [
+            (f"{backend} | {workload} | x{shards} {strategy} | cache {cache}", report)
+            for (backend, workload, shards, strategy, cache), report in reports
+        ]
+    table = TextTable(
+        [
+            "configuration",
+            "shards",
+            "hit rate %",
+            "imbalance",
+            "x-shard MB",
+            "gather (us)",
+            "p50 (ms)",
+            "p99 (ms)",
+            f"SLA<{sla_s * 1e3:.0f}ms %",
+        ],
+        title=title,
+    )
+    for label, report in rows:
+        sharding = report.sharding
+        latency = report.latency
+        p50, p99 = latency.percentiles((50.0, 99.0))
+        table.add_row(
+            [
+                label,
+                sharding.num_shards if sharding else report.num_replicas,
+                100.0 * (sharding.hit_rate if sharding else 0.0),
+                sharding.lookup_imbalance if sharding else 1.0,
+                (sharding.cross_shard_bytes if sharding else 0.0) / 1e6,
+                (sharding.mean_gather_s if sharding else 0.0) * 1e6,
+                p50 * 1e3,
+                p99 * 1e3,
+                100.0 * latency.sla_attainment(sla_s),
+            ]
+        )
+    return table.render()
+
+
 def render_workload_catalog(title: str = "Workload catalog") -> str:
     """Render the arrival-process and trace-model catalogs as text tables."""
     from repro.workloads.catalog import ARRIVAL_CATALOG, TRACE_CATALOG

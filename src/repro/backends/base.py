@@ -48,6 +48,16 @@ class BackendCapabilities:
             replica of this device — model load for CPUs, bitstream /
             partial-reconfiguration time for FPGAs.  Used as the default
             ``warmup_s`` of autoscaled fleets built through the registry.
+        supports_sharding: The backend's embedding tables live in (host)
+            memory addressable per shard, so a
+            :class:`~repro.serving.sharded.ShardedReplicaGroup` may
+            partition them across devices and cache hot rows in front of
+            the gather.  Every built-in design point keeps this set (all
+            three gather from shared host memory); a backend whose
+            embedding storage cannot be partitioned (e.g. a monolithic
+            appliance with fused table storage) should clear it so sharded
+            experiments fail loudly instead of modelling an impossible
+            fleet.
         supports_skewed_traces: The backend's performance model remains
             *valid* (possibly conservative) for non-uniform index streams
             (Zipf / hot-cold working sets).  The built-in analytic runners
@@ -68,6 +78,7 @@ class BackendCapabilities:
     offloads_embeddings: bool = False
     stages: Tuple[str, ...] = ()
     supports_multi_model: bool = True
+    supports_sharding: bool = True
     supports_skewed_traces: bool = True
     supports_elastic_scaling: bool = True
     provision_warmup_s: float = 0.0

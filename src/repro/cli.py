@@ -156,6 +156,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     backend = get_backend(args.backend, HARPV2_SYSTEM)
     batching = TimeoutBatching(window_s=args.window, max_batch_size=args.max_batch)
     timeline = None
+    from repro.sharding import parse_cache_spec, parse_sharding_spec
+
+    num_shards, shard_strategy = parse_sharding_spec(args.shards)
+    if args.shard_strategy is not None:
+        shard_strategy = args.shard_strategy
+    cache_config = parse_cache_spec(args.cache)
+    sharded = num_shards > 1 or cache_config is not None
+    if sharded and (args.autoscale is not None or args.replicas > 1):
+        print(
+            "error: --shards/--cache serve one sharded group; drop "
+            "--autoscale/--replicas",
+            file=sys.stderr,
+        )
+        return 2
+    if sharded:
+        from repro.analysis.report import render_sharding_report
+        from repro.experiment.serving import check_sharding_support
+        from repro.serving.sharded import ShardedReplicaGroup
+
+        check_sharding_support(args.backend)
+        group = ShardedReplicaGroup(
+            backend,
+            model,
+            num_shards=num_shards,
+            strategy=shard_strategy,
+            cache=cache_config,
+            batching=batching,
+            system=HARPV2_SYSTEM,
+        )
+        report = group.serve_workload(
+            workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
+        )
+        cache_label = cache_config.describe() if cache_config is not None else "off"
+        label = (
+            f"{backend.design_point} x{num_shards} {shard_strategy} "
+            f"shards, cache {cache_label}"
+        )
+        print(f"workload: {workload.describe()}")
+        print(
+            render_sharding_report(
+                {label: report},
+                sla_s=args.sla,
+                title=f"Sharded serving of {model.name} under {workload.name}",
+            )
+        )
+        return 0
     if args.autoscale is not None:
         check_elastic_support(args.backend)
         policy = parse_autoscaler_spec(args.autoscale)
@@ -323,6 +369,33 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "identical replicas behind the dispatcher; with --autoscale this "
             "is the fleet size at time zero (default: the --min-replicas floor)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shards",
+        default="1",
+        metavar="SPEC",
+        help=(
+            "partition the model's embedding tables: a shard count or a "
+            "'<count>:<strategy>' spec, e.g. 4 or 4:row (default 1)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shard-strategy",
+        default=None,
+        choices=("table", "row", "greedy"),
+        help=(
+            "shard placement strategy; overrides the --shards spec "
+            "(default table-wise round robin)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "hot-row cache in front of every shard's gather, e.g. "
+            "lru:rows=4096 or lfu:bytes=1048576 (default off)"
         ),
     )
     serve_parser.add_argument(

@@ -64,8 +64,10 @@ class CentaurDevice:
             )
             self.table_names.append(name)
 
-        # Result buffer in host memory for the FPGA->CPU final write.
+        # Result buffer in host memory for the FPGA->CPU final write.  Sized
+        # for the common case at boot; :meth:`infer` grows it on demand.
         self._output_capacity = 4096
+        self.output_regrows = 0
         output_region = self.host_memory.register(
             "output", np.zeros(self._output_capacity, dtype=np.float32)
         )
@@ -98,10 +100,7 @@ class CentaurDevice:
                 f"{self.config.num_tables} tables"
             )
         if batch.batch_size > self._output_capacity:
-            raise SimulationError(
-                f"batch size {batch.batch_size} exceeds the device output buffer "
-                f"({self._output_capacity} samples)"
-            )
+            self._grow_output_buffer(batch.batch_size)
         reduced = self.eb_streamer.gather_and_reduce(self.table_names, batch.sparse_traces)
         probabilities, logits = self.dense_complex.forward(batch.dense_features, reduced)
 
@@ -120,6 +119,33 @@ class CentaurDevice:
             bottom_mlp_output=bottom_out,
             interaction_output=interaction,
         )
+
+    def _grow_output_buffer(self, min_samples: int) -> None:
+        """Re-register a larger host output region for an oversized batch.
+
+        The host driver drops the old region, registers one grown to the
+        next power of two covering the batch, and rewrites the FPGA's
+        ``output`` base pointer over MMIO — that rewrite is the latency the
+        resize charges (accumulated into :attr:`setup_latency_s`, exactly
+        like the boot-time registration it repeats).
+        """
+        capacity = self._output_capacity
+        while capacity < min_samples:
+            capacity *= 2
+        self.host_memory.unregister("output")
+        region = self.host_memory.register(
+            "output", np.zeros(capacity, dtype=np.float32)
+        )
+        self.setup_latency_s += self.mmio.write_base_pointer(
+            "output", region.base_address
+        )
+        self._output_capacity = capacity
+        self.output_regrows += 1
+
+    @property
+    def output_capacity(self) -> int:
+        """Samples the registered host output region can currently hold."""
+        return self._output_capacity
 
     def predict(self, batch: DLRMBatch) -> np.ndarray:
         """Convenience wrapper returning only the event probabilities."""

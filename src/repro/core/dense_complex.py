@@ -121,6 +121,44 @@ class DenseAcceleratorComplex:
         if not self.weights_loaded:
             raise SimulationError("load_weights() must be called before forward()")
         dense_features = np.asarray(dense_features, dtype=np.float32)
+        batch = dense_features.shape[0]
+        tile = self._max_tile_batch(dense_features, reduced_embeddings)
+        if batch <= tile:
+            return self._forward_tile(dense_features, reduced_embeddings)
+        # Per-inference inputs are transient and double-buffered: a batch
+        # whose features exceed the input SRAMs streams through in tiles.
+        probability_tiles = []
+        logit_tiles = []
+        for start in range(0, batch, tile):
+            stop = min(start + tile, batch)
+            probabilities, logits = self._forward_tile(
+                dense_features[start:stop], reduced_embeddings[start:stop]
+            )
+            probability_tiles.append(probabilities)
+            logit_tiles.append(logits)
+        return np.concatenate(probability_tiles), np.concatenate(logit_tiles)
+
+    def _max_tile_batch(
+        self, dense_features: np.ndarray, reduced_embeddings: np.ndarray
+    ) -> int:
+        """Largest sample count whose transient inputs fit the input SRAMs."""
+        dense_row_bytes = max(dense_features.shape[1] * 4, 4)
+        num_tables = reduced_embeddings.shape[1]
+        interaction_dim = (
+            reduced_embeddings.shape[2] + num_tables * (num_tables + 1) // 2
+        )
+        interaction_row_bytes = max(interaction_dim * 4, 4)
+        return max(
+            1,
+            min(
+                self.dense_feature_sram.capacity_bytes // dense_row_bytes,
+                self.mlp_input_sram.capacity_bytes // interaction_row_bytes,
+            ),
+        )
+
+    def _forward_tile(
+        self, dense_features: np.ndarray, reduced_embeddings: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         self.dense_feature_sram.write("dense_features", dense_features)
 
         bottom_out = self._run_mlp_from_sram("bottom", dense_features)

@@ -25,8 +25,14 @@ from repro.experiment.serving import (
     ServingKey,
     autoscale_grid,
     check_elastic_support,
+    check_sharding_support,
     check_workload_support,
     serve_grid,
+)
+from repro.experiment.sharding import (
+    ShardingExperimentResult,
+    ShardingKey,
+    shard_grid,
 )
 
 __all__ = [
@@ -36,15 +42,19 @@ __all__ = [
     "ResultCache",
     "ServingExperimentResult",
     "ServingKey",
+    "ShardingExperimentResult",
+    "ShardingKey",
     "VariantSweep",
     "autoscale_grid",
     "check_elastic_support",
+    "check_sharding_support",
     "check_workload_support",
     "default_cache",
     "model_fingerprint",
     "override_default_cache",
     "run_grid",
     "serve_grid",
+    "shard_grid",
     "set_default_cache",
     "system_fingerprint",
 ]

@@ -465,6 +465,55 @@ class Experiment:
             seed=seed,
         )
 
+    def shard(
+        self,
+        shard_counts=(1, 2, 4),
+        strategies=("table",),
+        caches=(None,),
+        model: Optional[DLRMConfig] = None,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        batching=None,
+        seed: int = 0,
+    ):
+        """Run the sharded-serving grid: shards x strategy x cache size.
+
+        Every (backend, workload) point is served by a
+        :class:`~repro.serving.sharded.ShardedReplicaGroup` at each shard
+        count / placement strategy / hot-row cache configuration, after
+        capability gating (workload support and
+        ``BackendCapabilities.supports_sharding``).  Sharded serving is
+        single-model: the partitioned model is ``model``, or the
+        experiment's model axis when it holds exactly one entry.  Returns
+        a :class:`~repro.experiment.sharding.ShardingExperimentResult`.
+        """
+        if not self._workloads:
+            raise SimulationError(
+                "no workloads selected; call .workloads(...) before .shard()"
+            )
+        if model is None:
+            if len(self._models) != 1:
+                raise SimulationError(
+                    f"sharded serving partitions one model; the grid holds "
+                    f"{len(self._models)} — pass model=..."
+                )
+            model = self._models[0]
+        from repro.experiment.sharding import shard_grid
+
+        return shard_grid(
+            self.system,
+            self.backend_names,
+            self._workloads,
+            model,
+            shard_counts=shard_counts,
+            strategies=strategies,
+            caches=caches,
+            duration_s=duration_s,
+            num_requests=num_requests,
+            batching=batching,
+            seed=seed,
+        )
+
     def plan_capacity(
         self,
         sla_s: float,

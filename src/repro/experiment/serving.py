@@ -187,6 +187,16 @@ def check_elastic_support(backend_name: str) -> None:
         )
 
 
+def check_sharding_support(backend_name: str) -> None:
+    """Raise :class:`ConfigurationError` when a backend cannot shard tables."""
+    registration = backend_registration(backend_name)
+    if not registration.capabilities.supports_sharding:
+        raise ConfigurationError(
+            f"backend {registration.name!r} cannot partition its embedding "
+            "tables; serve it unsharded instead"
+        )
+
+
 def _run_serving_grid(
     system: SystemConfig,
     backend_names: Sequence[str],

@@ -1,0 +1,237 @@
+"""Sharded-serving experiment grids: shards x strategy x cache size.
+
+Where :func:`repro.experiment.serving.serve_grid` answers "which backend
+serves this workload best", this module sweeps the *scale-out* axes the
+sharding subsystem adds: how many embedding shards, placed by which
+strategy, with how much hot-row cache.  Every point is capability-gated
+(workload support and :func:`~repro.experiment.serving.check_sharding_support`)
+before anything runs, and lands in a :class:`ShardingExperimentResult`
+keyed ``(backend, workload, shards, strategy, cache label)``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.backends.registry import get_backend
+from repro.config.models import DLRMConfig
+from repro.config.system import SystemConfig
+from repro.errors import SimulationError
+from repro.experiment.serving import check_sharding_support, check_workload_support
+from repro.serving.batching import BatchingPolicy
+from repro.serving.cluster import ClusterReport
+from repro.serving.sharded import ShardedReplicaGroup
+from repro.sharding.cache import CacheConfig
+from repro.sharding.plan import STRATEGIES, ShardingStrategy, make_plan
+from repro.workloads.workload import Workload
+
+#: Key identifying one sharded point: backend, workload, shards, strategy, cache.
+ShardingKey = Tuple[str, str, int, str, str]
+
+#: Label used for the cache-off column of grids and reports.
+CACHE_OFF = "off"
+
+
+def cache_label(cache: Optional[CacheConfig]) -> str:
+    """Stable axis label of one cache configuration (``"off"`` for none)."""
+    return CACHE_OFF if cache is None else cache.describe()
+
+
+class ShardingExperimentResult:
+    """All reports of one sharding grid, queryable by key."""
+
+    def __init__(self, system: SystemConfig):
+        self.system = system
+        self._reports: Dict[ShardingKey, ClusterReport] = {}
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        backend: str,
+        workload: str,
+        shards: int,
+        strategy: str,
+        cache: str,
+        report: ClusterReport,
+    ) -> None:
+        self._reports[(backend, workload, shards, strategy, cache)] = report
+
+    def get(
+        self,
+        backend: str,
+        workload: str,
+        shards: int,
+        strategy: str = "table",
+        cache: str = CACHE_OFF,
+    ) -> ClusterReport:
+        key = (backend, workload, int(shards), strategy, cache)
+        if key not in self._reports:
+            raise KeyError(f"no sharding result for {key}")
+        return self._reports[key]
+
+    def filter(
+        self,
+        backend: Optional[str] = None,
+        workload: Optional[str] = None,
+        shards: Optional[int] = None,
+        strategy: Optional[str] = None,
+        cache: Optional[str] = None,
+    ) -> List[ClusterReport]:
+        """All reports matching the given coordinates, in insertion order."""
+        matches = []
+        for (b, w, s, st, c), report in self._reports.items():
+            if backend is not None and b != backend:
+                continue
+            if workload is not None and w != workload:
+                continue
+            if shards is not None and s != int(shards):
+                continue
+            if strategy is not None and st != strategy:
+                continue
+            if cache is not None and c != cache:
+                continue
+            matches.append(report)
+        return matches
+
+    def shard_counts(self) -> List[int]:
+        return sorted({shards for _, _, shards, _, _ in self._reports})
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[Tuple[ShardingKey, ClusterReport]]:
+        return iter(self._reports.items())
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """One row per grid point with the sharding-specific columns."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            [
+                "backend",
+                "workload",
+                "shards",
+                "strategy",
+                "cache",
+                "completed_requests",
+                "p50_ms",
+                "p99_ms",
+                "mean_ms",
+                "hit_rate",
+                "lookup_imbalance",
+                "cross_shard_mb",
+                "mean_gather_us",
+            ]
+        )
+        for (backend, workload, shards, strategy, cache), report in self._reports.items():
+            latency = report.latency
+            sharding = report.sharding
+            writer.writerow(
+                [
+                    backend,
+                    workload,
+                    shards,
+                    strategy,
+                    cache,
+                    report.completed_requests,
+                    repr(latency.p50_s * 1e3),
+                    repr(latency.p99_s * 1e3),
+                    repr(latency.mean_s * 1e3),
+                    repr(sharding.hit_rate if sharding else 0.0),
+                    repr(sharding.lookup_imbalance if sharding else 1.0),
+                    repr((sharding.cross_shard_bytes if sharding else 0.0) / 1e6),
+                    repr((sharding.mean_gather_s if sharding else 0.0) * 1e6),
+                ]
+            )
+        return buffer.getvalue()
+
+
+def shard_grid(
+    system: SystemConfig,
+    backend_names: Sequence[str],
+    workloads: Sequence[Workload],
+    model: DLRMConfig,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    strategies: Sequence[Union[str, ShardingStrategy]] = ("table",),
+    caches: Sequence[Optional[CacheConfig]] = (None,),
+    duration_s: Optional[float] = None,
+    num_requests: Optional[int] = None,
+    batching: Optional[BatchingPolicy] = None,
+    seed: int = 0,
+) -> ShardingExperimentResult:
+    """Evaluate a backends x workloads x shards x strategy x cache grid.
+
+    Plans are built once per (shards, strategy) pair and shared across
+    backends and workloads; each grid point serves through its own
+    :class:`~repro.serving.sharded.ShardedReplicaGroup` so cache state
+    never leaks between points.  Sharded serving is single-model — pass
+    the one model the grid partitions.
+    """
+    if not workloads:
+        raise SimulationError("a sharding grid needs at least one workload")
+    if not shard_counts:
+        raise SimulationError("a sharding grid needs at least one shard count")
+    if not strategies:
+        raise SimulationError("a sharding grid needs at least one strategy")
+    if not caches:
+        caches = (None,)
+    for backend_name in backend_names:
+        check_sharding_support(backend_name)
+        for workload in workloads:
+            check_workload_support(backend_name, workload)
+
+    strategy_names = [
+        strategy.name if isinstance(strategy, ShardingStrategy) else str(strategy)
+        for strategy in strategies
+    ]
+    for name in strategy_names:
+        if name not in STRATEGIES:
+            raise SimulationError(
+                f"unknown sharding strategy {name!r}; available: "
+                f"{', '.join(sorted(STRATEGIES))}"
+            )
+    if len(set(strategy_names)) != len(strategy_names):
+        # Grid points are keyed by strategy *name*; two instances sharing
+        # one (e.g. row-wise with different hash seeds) would silently
+        # collapse onto a single point.
+        raise SimulationError(
+            f"sharding strategies must have distinct names, got {strategy_names}"
+        )
+    plans = {
+        (int(shards), name): make_plan(model, int(shards), strategy)
+        for shards in shard_counts
+        for name, strategy in zip(strategy_names, strategies)
+    }
+
+    outcome = ShardingExperimentResult(system)
+    for backend_name in backend_names:
+        backend = get_backend(backend_name, system)
+        for workload in workloads:
+            for (shards, strategy_name), plan in plans.items():
+                for cache in caches:
+                    group = ShardedReplicaGroup(
+                        backend,
+                        model,
+                        plan=plan,
+                        cache=cache,
+                        batching=batching,
+                        system=system,
+                    )
+                    report = group.serve_workload(
+                        workload,
+                        duration_s=duration_s,
+                        num_requests=num_requests,
+                        seed=seed,
+                    )
+                    outcome.add(
+                        backend_name,
+                        workload.name,
+                        shards,
+                        strategy_name,
+                        cache_label(cache),
+                        report,
+                    )
+    return outcome

@@ -50,6 +50,11 @@ from repro.serving.autoscale import (
     parse_autoscaler_spec,
 )
 from repro.serving.planner import CapacityPlan, CapacityPlanner, CapacityPoint
+from repro.serving.sharded import (
+    ShardedReplicaGroup,
+    ShardedReplicaServer,
+    ShardingStats,
+)
 
 __all__ = [
     "InferenceRequest",
@@ -89,4 +94,7 @@ __all__ = [
     "CapacityPlan",
     "CapacityPlanner",
     "CapacityPoint",
+    "ShardedReplicaGroup",
+    "ShardedReplicaServer",
+    "ShardingStats",
 ]

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.serving.sharded import ShardingStats
 
 from repro.backends.registry import resolve_backend
 from repro.config.models import DLRMConfig
@@ -113,6 +116,8 @@ class ClusterReport:
     latency: LatencyDistribution
     dispatcher: str = "round-robin"
     autoscale: Optional[AutoscaleReport] = None
+    #: Shard/cache accounting of a sharded group run (``None`` otherwise).
+    sharding: Optional["ShardingStats"] = None
 
     @property
     def completed_requests(self) -> int:

@@ -9,7 +9,7 @@ randomness from a seed and is reset before every stream.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -34,19 +34,51 @@ class Dispatcher:
 
 
 class RoundRobinDispatcher(Dispatcher):
-    """Cycle through replicas in arrival order (the legacy cluster policy)."""
+    """Cycle through replicas in arrival order (the legacy cluster policy).
+
+    The rotation is anchored to the *identity* of the last-served replica,
+    not a monotonic counter: when an elastic fleet grows or shrinks
+    mid-stream the dispatcher simply continues with the replica after the
+    one it served last, so no replica is skipped or double-hit by a modulus
+    change.  If the last-served replica itself left the fleet, the rotation
+    resumes at the slot it used to occupy (whose successor now holds it).
+    """
 
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._next = 0
+        self._last: Optional[ReplicaServer] = None
+        self._last_index = 0
 
     def reset(self) -> None:
-        self._next = 0
+        self._last = None
+        self._last_index = 0
 
     def select(self, replicas, request, now):
-        index = self._next % len(replicas)
-        self._next += 1
+        if self._last is None:
+            index = 0
+        elif (
+            self._last_index < len(replicas)
+            and replicas[self._last_index] is self._last
+        ):
+            # Fast path: unchanged fleet (the overwhelmingly common case)
+            # advances in O(1), exactly like the old counter.
+            index = (self._last_index + 1) % len(replicas)
+        else:
+            for position, replica in enumerate(replicas):
+                if replica is self._last:
+                    index = (position + 1) % len(replicas)
+                    break
+            else:
+                # Last-served replica was drained: its old slot now holds
+                # the replica that was next in rotation; if the slot itself
+                # is gone (trailing replicas drained together), the
+                # rotation has passed the end of the list and wraps.
+                index = (
+                    self._last_index if self._last_index < len(replicas) else 0
+                )
+        self._last = replicas[index]
+        self._last_index = index
         return index
 
 
@@ -81,7 +113,15 @@ class PowerOfTwoChoicesDispatcher(Dispatcher):
 
     The classic load-balancing result: two random choices capture most of
     JSQ's benefit while probing only two queues.  Deterministic given the
-    seed; degenerates to the single replica when only one exists.
+    seed, with a consumption contract that holds under elastic fleets:
+    *every* :meth:`select` call advances the RNG, including the degenerate
+    single-replica fleet an autoscaler can shrink to mid-stream (which
+    previously consumed nothing and silently froze the decision stream).
+    Ties on ``outstanding`` are broken by the lower index in the *current*
+    replica list — never by an extra draw — so a drain that shifts indices
+    changes which physical replica wins a tie, but the same seed over the
+    same fleet trajectory always reproduces the same choices; ``reset()``
+    is the only way to rewind the stream.
     """
 
     name = "power-of-two-choices"
@@ -100,8 +140,13 @@ class PowerOfTwoChoicesDispatcher(Dispatcher):
         self._rng = np.random.default_rng(self._seed)
 
     def select(self, replicas, request, now):
-        if len(replicas) == 1:
+        count = len(replicas)
+        if count == 1:
+            # The choice is forced but the stream must still advance: a
+            # fleet that dips to one active replica and later scales back
+            # up would otherwise resume from a stale generator state.
+            self._rng.random()
             return 0
-        first, second = self._rng.choice(len(replicas), size=2, replace=False)
+        first, second = self._rng.choice(count, size=2, replace=False)
         candidates = (int(first), int(second))
         return min(candidates, key=lambda i: (replicas[i].outstanding, i))

@@ -298,6 +298,12 @@ class ReplicaServer:
             bucket.append(request)
         return [(groups[key], key) for key in order]
 
+    def _execute_result(
+        self, batch_size: int, model_name: Optional[str]
+    ) -> InferenceResult:
+        """Price one executed segment (hook: sharded replicas price per batch)."""
+        return self.service.result(batch_size, model_name)
+
     def _maybe_start(self) -> None:
         if self._busy or not self._batch_queue:
             return
@@ -306,7 +312,7 @@ class ReplicaServer:
         segments: List[_Segment] = []
         clock = start
         for group, model_name in self._segment_batch(batch):
-            result = self.service.result(
+            result = self._execute_result(
                 self.batching.execution_batch_size(len(group)), model_name
             )
             seg_start = clock

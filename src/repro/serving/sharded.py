@@ -1,0 +1,451 @@
+"""Sharded serving: one logical replica group spanning several device shards.
+
+A :class:`ShardedReplicaGroup` serves a model whose embedding tables are
+partitioned across ``num_shards`` device shards by a
+:class:`~repro.sharding.plan.ShardingPlan`.  Each executed batch models the
+paper's gather pipeline at fleet scale:
+
+1. **Fan-out** — the batch's sparse lookups are drawn from the workload's
+   trace model (so zipf / hot-cold skew shapes real row IDs) and routed to
+   the shard owning each ``(table, row)``.
+2. **Hot-row cache** — an optional per-shard
+   :class:`~repro.sharding.cache.EmbeddingCache` intercepts lookups in
+   front of the host-memory gather; hits skip the gather entirely.
+3. **Per-shard gather** — each shard's host gather is priced from the
+   existing runner cost model: the backend's ``EMB`` stage latency scaled
+   by the shard's share of missed lookups.
+4. **Fan-in** — non-coordinator shards ship their per-sample partial sums
+   over a :class:`~repro.core.link.ChipletLink`; the straggler shard
+   (gather + transfer) gates the embedding stage of the whole batch.
+
+Everything rides the existing event core: arrivals, batch closes and batch
+completions are :class:`repro.sim.engine.Simulator` events, and the group
+reuses :class:`~repro.serving.replica.ReplicaServer` verbatim except for
+the per-batch pricing hook.  With one shard and no cache the pricing hook
+returns the runner's result object untouched, so the run is bit-identical
+to the unsharded cluster path — the property the equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backends.registry import resolve_backend
+from repro.config.models import DLRMConfig
+from repro.config.system import SystemConfig
+from repro.core.link import ChipletLink
+from repro.errors import SimulationError
+from repro.memsys.stats import CacheStats
+from repro.results import InferenceResult, LatencyBreakdown
+from repro.serving.batching import BatchingPolicy, default_batching
+from repro.serving.cluster import ClusterReport
+from repro.serving.metrics import LatencyDistribution
+from repro.serving.replica import (
+    DesignPointRunner,
+    ReplicaServer,
+    ServiceModel,
+    StreamOutcome,
+    drive_stream,
+)
+from repro.sharding.cache import CacheConfig, EmbeddingCache
+from repro.sharding.plan import ShardingPlan, ShardingStrategy, make_plan
+from repro.sim.engine import Simulator
+from repro.workloads.arrivals import InferenceRequest
+from repro.workloads.traces import TraceModel, UniformTrace
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class ShardingStats:
+    """Shard and cache accounting of one sharded serving run.
+
+    Attributes:
+        num_shards: Device shards in the group.
+        strategy: Placement strategy of the plan.
+        cache_policy: ``"lru"`` / ``"lfu"``, or ``None`` when cache-off.
+        cache_capacity_rows: Per-shard cache capacity (``None`` cache-off).
+        plan_imbalance: Max-over-mean resident bytes of the plan.
+        shard_bytes: Resident embedding bytes per shard.
+        cache: Hit/miss counters merged over every shard's cache.
+        evictions: Rows evicted summed over shards.
+        per_shard_lookups: Lookups *owned* by each shard (hits + misses).
+        per_shard_gathered: Lookups each shard gathered from host memory
+            (misses only; equals owned when cache-off).
+        cross_shard_bytes: Partial-sum bytes shipped between shards.
+        cross_shard_transfer_s: Link time of those transfers, summed.
+        gather_s_total: Straggler-gated embedding-stage seconds, summed
+            over executed batches.
+        batches: Executed batch segments.
+        total_lookups: Lookups drawn over the whole run.
+    """
+
+    num_shards: int
+    strategy: str
+    cache_policy: Optional[str]
+    cache_capacity_rows: Optional[int]
+    plan_imbalance: float
+    shard_bytes: Tuple[float, ...]
+    cache: CacheStats
+    evictions: int
+    per_shard_lookups: Tuple[int, ...]
+    per_shard_gathered: Tuple[int, ...]
+    cross_shard_bytes: float
+    cross_shard_transfer_s: float
+    gather_s_total: float
+    batches: int
+    total_lookups: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def mean_gather_s(self) -> float:
+        """Mean embedding-stage latency per executed batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.gather_s_total / self.batches
+
+    @property
+    def lookup_imbalance(self) -> float:
+        """Max-over-mean of per-shard owned lookups (1.0 is perfect)."""
+        total = sum(self.per_shard_lookups)
+        if total == 0:
+            return 1.0
+        mean = total / len(self.per_shard_lookups)
+        return max(self.per_shard_lookups) / mean
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache_policy is not None
+
+
+class _ShardingAccounting:
+    """Mutable counters a :class:`ShardedReplicaServer` fills while serving."""
+
+    def __init__(self, num_shards: int):
+        self.owned = np.zeros(num_shards, dtype=np.int64)
+        self.gathered = np.zeros(num_shards, dtype=np.int64)
+        self.cross_shard_bytes = 0.0
+        self.cross_shard_transfer_s = 0.0
+        self.gather_s_total = 0.0
+        self.batches = 0
+
+
+class ShardedReplicaServer(ReplicaServer):
+    """A :class:`ReplicaServer` whose batches execute on a shard group.
+
+    Overrides only the pricing hook: every executed segment draws its
+    sparse lookups from the trace model, routes them through the plan and
+    the per-shard caches, and re-prices the runner result's ``EMB`` stage
+    with the straggler shard's gather + transfer time.  All other event
+    semantics (batching, FIFO device queue, completion events) are
+    inherited unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: ServiceModel,
+        batching: BatchingPolicy,
+        plan: ShardingPlan,
+        link: Optional[ChipletLink],
+        trace_model: TraceModel,
+        trace_rng: np.random.Generator,
+        caches: Optional[List[EmbeddingCache]] = None,
+        name: str = "sharded-group",
+    ):
+        super().__init__(sim, service, batching, name=name)
+        self.plan = plan
+        self.link = link
+        self.trace_model = trace_model
+        self.trace_rng = trace_rng
+        self.caches = caches
+        self.accounting = _ShardingAccounting(plan.num_shards)
+
+    # ------------------------------------------------------------------
+    def _execute_result(self, batch_size: int, model_name) -> InferenceResult:
+        base = self.service.result(batch_size, model_name)
+        accounting = self.accounting
+        accounting.batches += 1
+        model = self.service.model_for(model_name)
+        if self.plan.num_shards == 1 and self.caches is None:
+            # Degenerate group: one shard owns everything and no cache
+            # intercepts, so the unsharded result is returned *untouched*
+            # (bit-identical to the plain cluster path).
+            lookups = sum(batch_size * table.gathers for table in model.tables)
+            accounting.owned[0] += lookups
+            accounting.gathered[0] += lookups
+            accounting.gather_s_total += base.breakdown.get("EMB")
+            return base
+        return self._priced_sharded(base, batch_size, model)
+
+    def _priced_sharded(
+        self, base: InferenceResult, batch_size: int, model: DLRMConfig
+    ) -> InferenceResult:
+        plan = self.plan
+        num_shards = plan.num_shards
+        accounting = self.accounting
+        owned = np.zeros(num_shards, dtype=np.int64)
+        gathered = np.zeros(num_shards, dtype=np.int64)
+        contributed_tables = np.zeros(num_shards, dtype=np.int64)
+        for table_index, table in enumerate(model.tables):
+            count = batch_size * table.gathers
+            if count == 0:
+                continue
+            rows = self.trace_model.draw(
+                self.trace_rng, table.num_rows, count, table_index
+            )
+            owners = plan.owner_of(table_index, rows)
+            counts = np.bincount(owners, minlength=num_shards)
+            owned += counts
+            for shard in np.nonzero(counts)[0]:
+                contributed_tables[shard] += 1
+                shard_rows = rows[owners == shard]
+                if self.caches is not None:
+                    hits = self.caches[shard].lookup(table_index, shard_rows)
+                    gathered[shard] += len(shard_rows) - int(hits.sum())
+                else:
+                    gathered[shard] += len(shard_rows)
+
+        total_lookups = int(owned.sum())
+        emb_s = base.breakdown.get("EMB")
+        row_bytes = model.embedding_dim * 4
+        # The coordinator aggregates; pick the shard with the most owned
+        # lookups (ties: lowest index) so the heaviest gather ships nothing.
+        coordinator = int(np.argmax(owned)) if total_lookups else 0
+        straggler_s = 0.0
+        for shard in range(num_shards):
+            if owned[shard] == 0:
+                continue
+            gather_s = (
+                emb_s * (float(gathered[shard]) / total_lookups)
+                if total_lookups
+                else 0.0
+            )
+            transfer_s = 0.0
+            if shard != coordinator and self.link is not None:
+                transfer_bytes = batch_size * int(contributed_tables[shard]) * row_bytes
+                estimate = self.link.bulk_transfer(transfer_bytes)
+                transfer_s = estimate.latency_s
+                accounting.cross_shard_bytes += transfer_bytes
+                accounting.cross_shard_transfer_s += transfer_s
+            straggler_s = max(straggler_s, gather_s + transfer_s)
+
+        accounting.owned += owned
+        accounting.gathered += gathered
+        accounting.gather_s_total += straggler_s
+
+        breakdown = LatencyBreakdown()
+        replaced = False
+        for stage, seconds in base.breakdown.stages.items():
+            if stage == "EMB":
+                breakdown.add(stage, straggler_s)
+                replaced = True
+            else:
+                breakdown.add(stage, seconds)
+        if not replaced:
+            breakdown.add("EMB", straggler_s)
+        return InferenceResult(
+            design_point=base.design_point,
+            model_name=base.model_name,
+            batch_size=batch_size,
+            breakdown=breakdown,
+            embedding_traffic=base.embedding_traffic,
+            mlp_traffic=base.mlp_traffic,
+            power_watts=base.power_watts,
+            extra=dict(base.extra),
+        )
+
+    # ------------------------------------------------------------------
+    def sharding_stats(self) -> ShardingStats:
+        """Freeze the run's shard/cache counters into a report record."""
+        accounting = self.accounting
+        cache_stats = CacheStats()
+        evictions = 0
+        if self.caches is not None:
+            for cache in self.caches:
+                cache_stats = cache_stats.merge(cache.stats)
+                evictions += cache.evictions
+        first_cache = self.caches[0] if self.caches else None
+        return ShardingStats(
+            num_shards=self.plan.num_shards,
+            strategy=self.plan.strategy,
+            cache_policy=first_cache.policy if first_cache else None,
+            cache_capacity_rows=first_cache.capacity_rows if first_cache else None,
+            plan_imbalance=self.plan.imbalance,
+            shard_bytes=self.plan.shard_bytes,
+            cache=cache_stats,
+            evictions=evictions,
+            per_shard_lookups=tuple(int(value) for value in accounting.owned),
+            per_shard_gathered=tuple(int(value) for value in accounting.gathered),
+            cross_shard_bytes=accounting.cross_shard_bytes,
+            cross_shard_transfer_s=accounting.cross_shard_transfer_s,
+            gather_s_total=accounting.gather_s_total,
+            batches=accounting.batches,
+            total_lookups=int(accounting.owned.sum()),
+        )
+
+
+class ShardedReplicaGroup:
+    """A model served by ``num_shards`` embedding shards behind one queue.
+
+    The group is one *logical* replica: requests join a single batching
+    queue, every batch fans out to all owning shards and fans back in
+    through the coordinator, and the straggler shard gates completion.
+
+    Args:
+        runner: Design-point runner backing the shard devices, or a
+            backend-registry name resolved against ``system``.
+        model: Served DLRM configuration.
+        num_shards: Shard count when no explicit ``plan`` is given.
+        strategy: Placement strategy name/instance for the implicit plan.
+        plan: Explicit :class:`~repro.sharding.plan.ShardingPlan`
+            (overrides ``num_shards``/``strategy``); must describe ``model``.
+        cache: Optional :class:`~repro.sharding.cache.CacheConfig`; one
+            cache instance is built per shard per stream.
+        batching: Batching policy of the group's shared queue.
+        system: Hardware platform — prices the cross-shard link and
+            resolves backend names; defaults to the runner's own system.
+    """
+
+    def __init__(
+        self,
+        runner: Union[DesignPointRunner, str],
+        model: DLRMConfig,
+        num_shards: int = 1,
+        strategy: Union[str, ShardingStrategy] = "table",
+        plan: Optional[ShardingPlan] = None,
+        cache: Optional[CacheConfig] = None,
+        batching: Optional[BatchingPolicy] = None,
+        system: Optional[SystemConfig] = None,
+    ):
+        if isinstance(runner, str):
+            if system is None:
+                raise SimulationError(
+                    f"group names backend {runner!r} but was built without a "
+                    "system configuration"
+                )
+            runner = resolve_backend(runner, system)
+        self.runner = runner
+        self.model = model
+        if plan is None:
+            plan = make_plan(model, num_shards, strategy)
+        elif plan.model != model:
+            raise SimulationError(
+                f"plan partitions model {plan.model.name!r} but the group "
+                f"serves {model.name!r}"
+            )
+        self.plan = plan
+        if cache is not None and not isinstance(cache, CacheConfig):
+            raise SimulationError(f"cache must be a CacheConfig or None, got {cache!r}")
+        self.cache_config = cache
+        self.batching = batching if batching is not None else default_batching()
+        self.system = system if system is not None else getattr(runner, "system", None)
+        if self.plan.num_shards > 1 and self.system is None:
+            raise SimulationError(
+                "a multi-shard group needs a system configuration to price "
+                "cross-shard transfers"
+            )
+        # Shared runner-prediction cache, one per group (mirrors clusters).
+        self._service_cache: Dict = {}
+        #: Conservation counters of the most recent serve call.
+        self.last_outcome: Optional[StreamOutcome] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def design_point(self) -> str:
+        return self.runner.design_point
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        requests: Union[Sequence[InferenceRequest], Iterable[InferenceRequest]],
+        trace: Optional[TraceModel] = None,
+        trace_seed: Union[int, np.random.SeedSequence] = 0,
+        report_label: Optional[str] = None,
+    ) -> ClusterReport:
+        """Serve a request stream through the shard group.
+
+        ``trace`` shapes the row IDs every batch gathers (uniform by
+        default); ``trace_seed`` seeds the draw stream.  Prefer
+        :meth:`serve_workload`, which wires both from the workload.
+        """
+        if isinstance(requests, Sequence) and not requests:
+            raise SimulationError("cannot serve an empty request stream")
+        sim = Simulator()
+        service = ServiceModel(self.runner, self.model, self._service_cache)
+        caches = None
+        if self.cache_config is not None:
+            caches = [
+                self.cache_config.build(self.model)
+                for _ in range(self.plan.num_shards)
+            ]
+        link = ChipletLink(self.system.link) if self.system is not None else None
+        replica = ShardedReplicaServer(
+            sim,
+            service,
+            self.batching,
+            plan=self.plan,
+            link=link,
+            trace_model=trace if trace is not None else UniformTrace(),
+            trace_rng=np.random.default_rng(trace_seed),
+            caches=caches,
+            name=f"{self.runner.design_point}:0",
+        )
+        outcome = drive_stream(sim, [replica], requests, lambda request: replica)
+        if outcome.scheduled == 0:
+            raise SimulationError("cannot serve an empty request stream")
+        self.last_outcome = outcome
+
+        label = report_label or self.model.name
+        report = replica.build_report(label)
+        return ClusterReport(
+            design_point=self.design_point,
+            model_name=label,
+            num_replicas=self.plan.num_shards,
+            per_replica=[report],
+            latency=LatencyDistribution(report.latency.samples_s.tolist()),
+            dispatcher="shard-fan-out",
+            sharding=replica.sharding_stats(),
+        )
+
+    def serve_workload(
+        self,
+        workload: Workload,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        seed: int = 0,
+    ) -> ClusterReport:
+        """Serve a workload: its arrivals drive the queue, its trace model
+        shapes every batch's gathered rows (the path where zipf / hot-cold
+        skew actually changes cache hit rates and shard traffic)."""
+        if workload.mix is not None:
+            if workload.mix.is_multi_model:
+                raise SimulationError(
+                    "sharded groups serve a single model; multi-model traffic "
+                    "mixes are not supported"
+                )
+            # A single-model mix must name the sharded model — anything else
+            # would pass the gate and fail mid-run at batch pricing.
+            mixed = workload.models[0]
+            if mixed != self.model:
+                raise SimulationError(
+                    f"workload mix targets model {mixed.name!r} but the group "
+                    f"shards {self.model.name!r}"
+                )
+        _, _, trace_seed = np.random.SeedSequence(seed).spawn(3)
+        return self.serve(
+            workload.requests(
+                duration_s=duration_s, num_requests=num_requests, seed=seed
+            ),
+            trace=workload.trace,
+            trace_seed=trace_seed,
+        )

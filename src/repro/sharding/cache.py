@@ -1,0 +1,264 @@
+"""Seed-deterministic hot-row embedding cache (LRU / LFU).
+
+The paper's central observation is that embedding gathers dominate DLRM
+inference; production traces additionally concentrate those gathers on a
+small hot row set (the zipf / hot-cold models in :mod:`repro.workloads`).
+An :class:`EmbeddingCache` sits in front of the host-memory gather on every
+backend: rows that hit are served from device-local memory and skip the
+host gather entirely, rows that miss are gathered and inserted.
+
+Everything is deterministic given the construction arguments: LRU recency
+and LFU frequency ties are broken by a monotonic access tick (never by
+randomness), so two runs over the same lookup stream produce bit-identical
+:class:`~repro.memsys.stats.CacheStats`.  The ``seed`` argument is part of
+the cache identity (it namespaces nothing today but keeps the constructor
+stable if a randomized policy is ever added) and two caches built with the
+same arguments always agree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config.models import DLRMConfig
+from repro.errors import ConfigurationError
+from repro.memsys.stats import CacheStats
+
+#: Cache key: one embedding row of one table.
+_RowKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Declarative description of a hot-row cache (one instance per shard).
+
+    Exactly one of ``capacity_rows`` / ``capacity_bytes`` must be set;
+    byte capacities are resolved against the served model's row size when
+    the cache is built.
+
+    Attributes:
+        policy: ``"lru"`` or ``"lfu"``.
+        capacity_rows: Capacity in embedding rows.
+        capacity_bytes: Capacity in bytes (rows = bytes // row_bytes).
+        seed: Determinism seed carried into every built cache.
+    """
+
+    policy: str = "lru"
+    capacity_rows: Optional[int] = None
+    capacity_bytes: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("lru", "lfu"):
+            raise ConfigurationError(
+                f"cache policy must be 'lru' or 'lfu', got {self.policy!r}"
+            )
+        if (self.capacity_rows is None) == (self.capacity_bytes is None):
+            raise ConfigurationError(
+                "set exactly one of capacity_rows / capacity_bytes"
+            )
+        for label, value in (
+            ("capacity_rows", self.capacity_rows),
+            ("capacity_bytes", self.capacity_bytes),
+        ):
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{label} must be positive, got {value}")
+
+    def resolve_rows(self, model: DLRMConfig) -> int:
+        """Capacity in rows against a concrete model's row size."""
+        if self.capacity_rows is not None:
+            return int(self.capacity_rows)
+        row_bytes = model.embedding_dim * 4
+        rows = int(self.capacity_bytes) // row_bytes
+        if rows <= 0:
+            raise ConfigurationError(
+                f"capacity_bytes={self.capacity_bytes} holds no {row_bytes}-byte "
+                f"row of model {model.name!r}"
+            )
+        return rows
+
+    def build(self, model: DLRMConfig) -> "EmbeddingCache":
+        """Instantiate one cache sized for ``model``."""
+        return EmbeddingCache(
+            capacity_rows=self.resolve_rows(model),
+            policy=self.policy,
+            seed=self.seed,
+        )
+
+    def describe(self) -> str:
+        """Compact spec form; round-trips through :func:`parse_cache_spec`."""
+        if self.capacity_rows is not None:
+            return f"{self.policy}:rows={self.capacity_rows}"
+        return f"{self.policy}:bytes={self.capacity_bytes}"
+
+
+class EmbeddingCache:
+    """A deterministic hot-row cache over ``(table, row)`` keys.
+
+    Args:
+        capacity_rows: Maximum resident rows (> 0).
+        policy: ``"lru"`` evicts the least-recently-used row; ``"lfu"``
+            evicts the least-frequently-used row, oldest access first on
+            frequency ties.
+        seed: Determinism seed (recorded; both policies are tick-ordered
+            and consume no randomness).
+    """
+
+    def __init__(self, capacity_rows: int, policy: str = "lru", seed: int = 0):
+        if capacity_rows <= 0:
+            raise ConfigurationError(
+                f"capacity_rows must be positive, got {capacity_rows}"
+            )
+        if policy not in ("lru", "lfu"):
+            raise ConfigurationError(
+                f"cache policy must be 'lru' or 'lfu', got {policy!r}"
+            )
+        if seed < 0:
+            raise ConfigurationError(f"seed must be non-negative, got {seed}")
+        self.capacity_rows = capacity_rows
+        self.policy = policy
+        self.seed = seed
+        self.stats = CacheStats()
+        self.evictions = 0
+        self._tick = 0
+        # LRU state: insertion/recency-ordered keys.
+        self._lru: "OrderedDict[_RowKey, None]" = OrderedDict()
+        # LFU state: key -> (frequency, last tick) plus a lazy min-heap of
+        # (frequency, tick, key) snapshots; stale snapshots are skipped at
+        # eviction time, keeping every operation O(log n).
+        self._lfu: Dict[_RowKey, Tuple[int, int]] = {}
+        self._heap: list = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lru) if self.policy == "lru" else len(self._lfu)
+
+    def __contains__(self, key: _RowKey) -> bool:
+        return key in self._lru if self.policy == "lru" else key in self._lfu
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    # ------------------------------------------------------------------
+    def lookup(self, table_index: int, rows: np.ndarray) -> np.ndarray:
+        """Probe (and fill) the cache for a gather's row IDs.
+
+        Returns a boolean hit mask aligned with ``rows``.  Hits refresh
+        recency/frequency; misses are inserted, evicting per policy once
+        the capacity is reached.  Repeated rows within one call behave as
+        consecutive accesses (the second occurrence of a missed row hits).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        hits = np.empty(rows.shape, dtype=bool)
+        if self.policy == "lru":
+            self._lookup_lru(table_index, rows, hits)
+        else:
+            self._lookup_lfu(table_index, rows, hits)
+        return hits
+
+    def _lookup_lru(self, table_index: int, rows: np.ndarray, hits: np.ndarray) -> None:
+        cache = self._lru
+        capacity = self.capacity_rows
+        for position, row in enumerate(rows.tolist()):
+            key = (table_index, row)
+            hit = key in cache
+            hits[position] = hit
+            self.stats.record(hit)
+            if hit:
+                cache.move_to_end(key)
+                continue
+            if len(cache) >= capacity:
+                cache.popitem(last=False)
+                self.evictions += 1
+            cache[key] = None
+
+    def _lookup_lfu(self, table_index: int, rows: np.ndarray, hits: np.ndarray) -> None:
+        cache = self._lfu
+        capacity = self.capacity_rows
+        for position, row in enumerate(rows.tolist()):
+            key = (table_index, row)
+            entry = cache.get(key)
+            hit = entry is not None
+            hits[position] = hit
+            self.stats.record(hit)
+            self._tick += 1
+            if hit:
+                frequency = entry[0] + 1
+            else:
+                if len(cache) >= capacity:
+                    self._evict_lfu()
+                frequency = 1
+            cache[key] = (frequency, self._tick)
+            heapq.heappush(self._heap, (frequency, self._tick, key))
+        # Lazy deletion leaves one stale snapshot per superseded access;
+        # compact once they dominate so heap memory stays O(resident rows)
+        # over arbitrarily long streams, not O(total lookups).
+        if len(self._heap) > 2 * len(cache) + 16:
+            self._heap = [
+                (frequency, tick, key)
+                for key, (frequency, tick) in cache.items()
+            ]
+            heapq.heapify(self._heap)
+
+    def _evict_lfu(self) -> None:
+        while self._heap:
+            frequency, tick, key = heapq.heappop(self._heap)
+            current = self._lfu.get(key)
+            if current is not None and current == (frequency, tick):
+                del self._lfu[key]
+                self.evictions += 1
+                return
+        raise RuntimeError("LFU heap drained with entries resident")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return f"{self.policy}:{self.capacity_rows}rows"
+
+
+def parse_cache_spec(spec: Optional[str]) -> Optional[CacheConfig]:
+    """Build a :class:`CacheConfig` from ``"lru:rows=4096"`` / ``"lfu:bytes=1048576"``.
+
+    ``None``, ``""`` and ``"off"`` mean no cache.  A bare count
+    (``"lru:4096"``) is interpreted as rows.
+    """
+    if spec is None:
+        return None
+    text = str(spec).strip()
+    if not text or text.lower() in ("off", "none"):
+        return None
+    policy, _, body = text.partition(":")
+    policy = policy.strip().lower()
+    if not body.strip():
+        raise ConfigurationError(
+            f"cache spec {spec!r} needs a capacity, e.g. 'lru:rows=4096'"
+        )
+    rows: Optional[int] = None
+    bytes_: Optional[int] = None
+    for part in body.split(","):
+        name, _, value = part.partition("=")
+        name = name.strip().lower()
+        value = value.strip()
+        if not _ and name.isdigit():
+            rows = int(name)
+            continue
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"cache spec field {part.strip()!r} is not an integer setting"
+            ) from None
+        if name == "rows":
+            rows = parsed
+        elif name == "bytes":
+            bytes_ = parsed
+        else:
+            raise ConfigurationError(
+                f"unknown cache spec field {name!r}; use rows=/bytes="
+            )
+    return CacheConfig(policy=policy, capacity_rows=rows, capacity_bytes=bytes_)

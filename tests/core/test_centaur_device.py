@@ -98,13 +98,47 @@ class TestInputValidation:
         with pytest.raises(SimulationError):
             device.infer(batch)
 
-    def test_batch_larger_than_output_buffer_rejected(self, device_and_model):
-        device, _, config = device_and_model
-        generator = UniformTraceGenerator(seed=0)
-        batch = generator.model_batch(config, 2)
-        device._output_capacity = 1
-        try:
-            with pytest.raises(SimulationError):
-                device.infer(batch)
-        finally:
-            device._output_capacity = 4096
+    def test_oversized_batch_grows_the_output_buffer(self):
+        """A batch beyond the registered region re-registers it, not fails."""
+        config = homogeneous_dlrm(
+            name="grow-test",
+            num_tables=2,
+            rows_per_table=500,
+            gathers_per_table=2,
+            embedding_dim=16,
+            bottom_hidden=(8,),
+            top_hidden=(8,),
+        )
+        model = DLRM.from_config(config, seed=3)
+        device = CentaurDevice(model, HARPV2_SYSTEM)
+        setup_before = device.setup_latency_s
+        batch = UniformTraceGenerator(seed=0).model_batch(config, 8192)
+
+        output = device.infer(batch)
+
+        assert output.probabilities.shape == (8192,)
+        assert device.output_capacity >= 8192
+        assert device.output_regrows == 1
+        # The resize charged the MMIO base-pointer rewrite.
+        assert device.setup_latency_s > setup_before
+        # The grown region really holds the batch's results.
+        written = device.host_memory.read(device.registers.read("output"), 8192 * 4)
+        np.testing.assert_allclose(written, output.probabilities, rtol=1e-6)
+
+    def test_output_buffer_growth_is_idempotent_once_grown(self):
+        config = homogeneous_dlrm(
+            name="grow-twice",
+            num_tables=2,
+            rows_per_table=500,
+            gathers_per_table=2,
+            embedding_dim=16,
+            bottom_hidden=(8,),
+            top_hidden=(8,),
+        )
+        device = CentaurDevice(DLRM.from_config(config, seed=3), HARPV2_SYSTEM)
+        generator = UniformTraceGenerator(seed=1)
+        device.infer(generator.model_batch(config, 5000))
+        capacity = device.output_capacity
+        device.infer(generator.model_batch(config, 5000))
+        assert device.output_capacity == capacity
+        assert device.output_regrows == 1

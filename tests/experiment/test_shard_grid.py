@@ -1,0 +1,138 @@
+"""Tests for the sharded-serving grid (Experiment.shard / shard_grid)."""
+
+import pytest
+
+from repro.config import DLRM1, DLRM2, HARPV2_SYSTEM
+from repro.errors import SimulationError
+from repro.experiment import Experiment
+from repro.experiment.sharding import ShardingExperimentResult, cache_label
+from repro.sharding import CacheConfig
+from repro.workloads import ConstantRateArrivals, PoissonArrivals, Workload
+from repro.workloads.traces import ZipfianTrace
+
+ZIPF = Workload(
+    arrivals=PoissonArrivals(rate_qps=20_000.0),
+    trace=ZipfianTrace(alpha=1.05),
+    name="zipf",
+)
+STEADY = Workload(arrivals=ConstantRateArrivals(rate_qps=20_000.0), name="steady")
+LRU = CacheConfig(policy="lru", capacity_rows=2_048)
+
+
+def small_grid(**kwargs):
+    defaults = dict(
+        shard_counts=(1, 2),
+        strategies=("table", "row"),
+        caches=(None, LRU),
+        num_requests=300,
+        seed=1,
+    )
+    defaults.update(kwargs)
+    return (
+        Experiment(HARPV2_SYSTEM)
+        .backends("centaur")
+        .models(DLRM2)
+        .workloads(ZIPF)
+        .shard(**defaults)
+    )
+
+
+class TestExperimentShard:
+    def test_grid_spans_every_axis(self):
+        grid = small_grid()
+        assert isinstance(grid, ShardingExperimentResult)
+        # 1 backend x 1 workload x 2 shard counts x 2 strategies x 2 caches.
+        assert len(grid) == 8
+        assert grid.shard_counts() == [1, 2]
+        for (_, _, shards, _, cache), report in grid:
+            assert report.sharding is not None
+            assert report.sharding.num_shards == shards
+            assert report.completed_requests == 300
+            assert (report.sharding.cache_policy is not None) == (cache != "off")
+
+    def test_get_and_filter(self):
+        grid = small_grid()
+        report = grid.get("centaur", "zipf", 2, "row", cache_label(LRU))
+        assert report.sharding.cache_policy == "lru"
+        assert report.sharding.num_shards == 2
+        with pytest.raises(KeyError):
+            grid.get("centaur", "zipf", 8, "row")
+        cached_points = grid.filter(cache=cache_label(LRU))
+        assert len(cached_points) == 4
+        assert all(point.sharding.hit_rate > 0 for point in cached_points)
+
+    def test_cache_wins_on_the_skewed_trace_across_the_grid(self):
+        grid = small_grid(strategies=("row",))
+        for shards in (1, 2):
+            off = grid.get("centaur", "zipf", shards, "row", "off")
+            on = grid.get("centaur", "zipf", shards, "row", cache_label(LRU))
+            assert on.sharding.hit_rate > off.sharding.hit_rate
+            assert on.sharding.mean_gather_s < off.sharding.mean_gather_s
+
+    def test_csv_has_one_row_per_point(self):
+        grid = small_grid(shard_counts=(2,), strategies=("table",), caches=(None,))
+        lines = grid.to_csv().strip().splitlines()
+        assert len(lines) == 1 + len(grid)
+        assert lines[0].startswith("backend,workload,shards,strategy,cache")
+
+    def test_requires_workloads(self):
+        with pytest.raises(SimulationError, match="workloads"):
+            Experiment(HARPV2_SYSTEM).backends("centaur").models(DLRM2).shard(
+                num_requests=10
+            )
+
+    def test_requires_a_single_model(self):
+        with pytest.raises(SimulationError, match="one model"):
+            (
+                Experiment(HARPV2_SYSTEM)
+                .backends("centaur")
+                .models(DLRM1, DLRM2)
+                .workloads(STEADY)
+                .shard(num_requests=10)
+            )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SimulationError, match="strategy"):
+            small_grid(strategies=("mystery",))
+
+    def test_duplicate_strategy_names_rejected(self):
+        from repro.sharding import RowWiseHashSharding
+
+        # Two instances sharing one name would silently collapse onto a
+        # single grid point (points are keyed by strategy name).
+        with pytest.raises(SimulationError, match="distinct"):
+            small_grid(
+                strategies=(RowWiseHashSharding(hash_seed=0), RowWiseHashSharding(hash_seed=7))
+            )
+
+    def test_unshardable_backend_is_rejected_loudly(self):
+        from repro.backends import BackendCapabilities, register_backend
+        from repro.backends.registry import unregister_backend
+        from repro.cpu.cpu_runner import CPUOnlyRunner
+        from repro.errors import ConfigurationError
+
+        register_backend(
+            "fused-tables-test",
+            CPUOnlyRunner,
+            design_point="FusedTables",
+            capabilities=BackendCapabilities(supports_sharding=False),
+        )
+        try:
+            with pytest.raises(ConfigurationError, match="partition"):
+                (
+                    Experiment(HARPV2_SYSTEM)
+                    .backends("fused-tables-test")
+                    .models(DLRM2)
+                    .workloads(STEADY)
+                    .shard(num_requests=10)
+                )
+        finally:
+            unregister_backend("fused-tables-test")
+
+    def test_deterministic_across_runs(self):
+        first = small_grid(shard_counts=(2,), strategies=("row",), caches=(LRU,))
+        second = small_grid(shard_counts=(2,), strategies=(" row".strip(),), caches=(LRU,))
+        left = first.get("centaur", "zipf", 2, "row", cache_label(LRU))
+        right = second.get("centaur", "zipf", 2, "row", cache_label(LRU))
+        assert left.latency.samples_s.tolist() == right.latency.samples_s.tolist()
+        assert left.sharding == right.sharding

@@ -1,0 +1,183 @@
+"""Dispatcher behaviour when the replica fleet changes mid-stream.
+
+Regression tests for two autoscaling-era bugs:
+
+* ``RoundRobinDispatcher`` kept a monotonic counter and took the modulus at
+  select time, so a fleet-size change skewed the rotation (skipping or
+  double-hitting replicas).  The rotation is now anchored to the identity
+  of the last-served replica.
+* ``PowerOfTwoChoicesDispatcher`` consumed no randomness when only one
+  replica was active, silently freezing its decision stream across a
+  scale-to-one phase; every ``select`` now advances the RNG.
+"""
+
+import pytest
+
+from repro.config import DLRM2, HARPV2_SYSTEM
+from repro.core import CentaurRunner
+from repro.serving import (
+    AutoscalingCluster,
+    PowerOfTwoChoicesDispatcher,
+    RoundRobinDispatcher,
+    ScheduledPolicy,
+    TimeoutBatching,
+)
+from repro.workloads import PoissonArrivals, Workload
+
+BATCHING = TimeoutBatching(window_s=1e-3, max_batch_size=32)
+
+
+class FakeReplica:
+    """The slice of replica state dispatchers inspect."""
+
+    def __init__(self, outstanding: int = 0):
+        self.outstanding = outstanding
+
+
+def select_sequence(dispatcher, replicas, count, now=0.0):
+    return [dispatcher.select(replicas, None, now) for _ in range(count)]
+
+
+class TestRoundRobinUnderScaleEvents:
+    def test_stable_fleet_keeps_the_legacy_rotation(self):
+        dispatcher = RoundRobinDispatcher()
+        replicas = [FakeReplica() for _ in range(3)]
+        assert select_sequence(dispatcher, replicas, 7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_growth_continues_the_rotation_without_double_hits(self):
+        dispatcher = RoundRobinDispatcher()
+        replicas = [FakeReplica() for _ in range(3)]
+        a, b, c = replicas
+        assert select_sequence(dispatcher, replicas, 4) == [0, 1, 2, 0]
+        # Fleet grows mid-stream; the old counter (4 % 4 == 0) would hit
+        # the just-served replica ``a`` again.
+        d = FakeReplica()
+        grown = [a, b, c, d]
+        follow = [grown[i] for i in select_sequence(dispatcher, grown, 4)]
+        assert follow == [b, c, d, a]
+
+    def test_shrink_of_the_last_served_replica_does_not_skip(self):
+        dispatcher = RoundRobinDispatcher()
+        a, b, c = (FakeReplica() for _ in range(3))
+        select_sequence(dispatcher, [a, b, c], 2)  # served a, b
+        # ``b`` (the last served) drains away; its old slot now holds ``c``,
+        # which is exactly the replica next in rotation.
+        shrunk = [a, c]
+        follow = [shrunk[i] for i in select_sequence(dispatcher, shrunk, 3)]
+        assert follow == [c, a, c]
+
+    def test_shrink_elsewhere_keeps_rotation_by_identity(self):
+        dispatcher = RoundRobinDispatcher()
+        a, b, c = (FakeReplica() for _ in range(3))
+        select_sequence(dispatcher, [a, b, c], 1)  # served a
+        shrunk = [a, b]  # c drained; a was just served
+        follow = [shrunk[i] for i in select_sequence(dispatcher, shrunk, 3)]
+        assert follow == [b, a, b]
+
+    def test_trailing_multi_drain_wraps_without_skipping(self):
+        """Draining several trailing replicas (the autoscaler's pattern)
+        including the last-served one must wrap the rotation to the front,
+        not land mid-list and skip the early replicas."""
+        dispatcher = RoundRobinDispatcher()
+        fleet = [FakeReplica() for _ in range(5)]
+        select_sequence(dispatcher, fleet, 5)  # last served: index 4
+        shrunk = fleet[:3]  # replicas 3 and 4 drained together
+        follow = [shrunk[i] for i in select_sequence(dispatcher, shrunk, 4)]
+        assert follow == [fleet[0], fleet[1], fleet[2], fleet[0]]
+
+    def test_fair_coverage_over_any_window_after_a_change(self):
+        dispatcher = RoundRobinDispatcher()
+        replicas = [FakeReplica() for _ in range(5)]
+        select_sequence(dispatcher, replicas, 13)
+        shrunk = replicas[1:]  # drop replica 0 mid-stream
+        window = select_sequence(dispatcher, shrunk, len(shrunk))
+        assert sorted(window) == list(range(len(shrunk))), (
+            "one full window after a scale event must hit every replica once"
+        )
+
+    def test_reset_restarts_the_rotation(self):
+        dispatcher = RoundRobinDispatcher()
+        replicas = [FakeReplica() for _ in range(3)]
+        select_sequence(dispatcher, replicas, 2)
+        dispatcher.reset()
+        assert dispatcher.select(replicas, None, 0.0) == 0
+
+
+class TestPowerOfTwoUnderScaleEvents:
+    def test_single_replica_phase_advances_the_rng(self):
+        """A fleet that dipped to one replica must not replay the stream of
+        a fleet that never did (the select consumed nothing before)."""
+        replicas = [FakeReplica() for _ in range(4)]
+        single = [FakeReplica()]
+
+        dipped = PowerOfTwoChoicesDispatcher(seed=9)
+        for _ in range(6):
+            assert dipped.select(single, None, 0.0) == 0
+        after_dip = select_sequence(dipped, replicas, 20)
+
+        steady = PowerOfTwoChoicesDispatcher(seed=9)
+        no_dip = select_sequence(steady, replicas, 20)
+        assert after_dip != no_dip
+
+    def test_scaled_trajectory_is_reproducible(self):
+        def run():
+            dispatcher = PowerOfTwoChoicesDispatcher(seed=5)
+            dispatcher.reset()
+            fleet3 = [FakeReplica(i) for i in range(3)]
+            fleet1 = [FakeReplica()]
+            fleet5 = [FakeReplica(i % 2) for i in range(5)]
+            choices = select_sequence(dispatcher, fleet3, 10)
+            choices += select_sequence(dispatcher, fleet1, 5)
+            choices += select_sequence(dispatcher, fleet5, 10)
+            return choices
+
+        assert run() == run()
+
+    def test_ties_break_toward_the_lower_index_without_extra_draws(self):
+        dispatcher = PowerOfTwoChoicesDispatcher(seed=0)
+        tied = [FakeReplica(2) for _ in range(4)]
+        shadow = PowerOfTwoChoicesDispatcher(seed=0)
+        for _ in range(25):
+            choice = dispatcher.select(tied, None, 0.0)
+            first, second = shadow._rng.choice(4, size=2, replace=False)
+            assert choice == min(int(first), int(second))
+
+    def test_loaded_candidate_loses(self):
+        dispatcher = PowerOfTwoChoicesDispatcher(seed=1)
+        replicas = [FakeReplica(10), FakeReplica(0), FakeReplica(10), FakeReplica(10)]
+        picks = select_sequence(dispatcher, replicas, 40)
+        # Whenever replica 1 was sampled it must have won its pairing; it
+        # is sampled in roughly half of all pairs, so it dominates.
+        assert picks.count(1) > len(picks) / 3
+
+
+class TestAutoscaledServingRegression:
+    """End-to-end: both dispatchers stay deterministic and conserve requests
+    while a scheduled policy scales the fleet mid-stream."""
+
+    @pytest.mark.parametrize(
+        "make_dispatcher",
+        [RoundRobinDispatcher, lambda: PowerOfTwoChoicesDispatcher(seed=11)],
+    )
+    def test_mid_stream_scale_event_double_run(self, make_dispatcher):
+        workload = Workload(arrivals=PoissonArrivals(rate_qps=60_000))
+
+        def run():
+            cluster = AutoscalingCluster(
+                CentaurRunner(HARPV2_SYSTEM),
+                DLRM2,
+                policy=ScheduledPolicy([(0.0, 1), (0.02, 4), (0.06, 2)]),
+                min_replicas=1,
+                max_replicas=4,
+                control_interval_s=5e-3,
+                batching=BATCHING,
+                dispatcher=make_dispatcher(),
+            )
+            return cluster.serve_workload(workload, duration_s=0.1, seed=2)
+
+        first, second = run(), run()
+        assert first.completed_requests == second.completed_requests
+        assert first.latency.samples_s.tolist() == second.latency.samples_s.tolist()
+        assert first.autoscale.timeline == second.autoscale.timeline
+        assert first.autoscale.scale_up_events >= 1
+        assert first.autoscale.scale_down_events >= 1

@@ -1,0 +1,175 @@
+"""Unit tests for the hot-row embedding cache (LRU / LFU) and its specs."""
+
+import numpy as np
+import pytest
+
+from repro.config.models import homogeneous_dlrm
+from repro.errors import ConfigurationError
+from repro.sharding import CacheConfig, EmbeddingCache, parse_cache_spec
+
+
+def rows(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestLRU:
+    def test_cold_rows_miss_then_hit(self):
+        cache = EmbeddingCache(capacity_rows=4, policy="lru")
+        first = cache.lookup(0, rows(1, 2, 3))
+        assert first.tolist() == [False, False, False]
+        second = cache.lookup(0, rows(1, 2, 3))
+        assert second.tolist() == [True, True, True]
+        assert cache.stats.accesses == 6
+        assert cache.stats.hits == 3
+        assert cache.evictions == 0
+
+    def test_least_recently_used_row_evicted(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lru")
+        cache.lookup(0, rows(1, 2))
+        cache.lookup(0, rows(1))      # refresh 1; 2 is now LRU
+        cache.lookup(0, rows(3))      # evicts 2
+        assert cache.evictions == 1
+        assert cache.lookup(0, rows(1)).tolist() == [True]
+        assert cache.lookup(0, rows(2)).tolist() == [False]
+
+    def test_repeated_row_in_one_call_hits_its_second_occurrence(self):
+        cache = EmbeddingCache(capacity_rows=4, policy="lru")
+        assert cache.lookup(0, rows(7, 7, 7)).tolist() == [False, True, True]
+
+    def test_tables_are_distinct_key_spaces(self):
+        cache = EmbeddingCache(capacity_rows=4, policy="lru")
+        cache.lookup(0, rows(5))
+        assert cache.lookup(1, rows(5)).tolist() == [False]
+
+
+class TestLFU:
+    def test_least_frequent_row_evicted(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lfu")
+        cache.lookup(0, rows(1, 1, 1))   # freq(1) = 3
+        cache.lookup(0, rows(2))         # freq(2) = 1
+        cache.lookup(0, rows(3))         # evicts 2 (lowest frequency)
+        assert cache.lookup(0, rows(1)).tolist() == [True]
+        assert cache.lookup(0, rows(2)).tolist() == [False]
+
+    def test_frequency_tie_breaks_toward_oldest_access(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lfu")
+        cache.lookup(0, rows(1))
+        cache.lookup(0, rows(2))         # both freq 1; 1 accessed earlier
+        cache.lookup(0, rows(3))         # evicts 1
+        assert cache.lookup(0, rows(2)).tolist() == [True]
+        assert cache.lookup(0, rows(1)).tolist() == [False]
+
+    def test_heap_memory_stays_bounded_over_long_hit_streams(self):
+        """Lazy deletion must not retain one snapshot per access forever."""
+        cache = EmbeddingCache(capacity_rows=32, policy="lfu")
+        hot = np.arange(32, dtype=np.int64)
+        for _ in range(500):
+            cache.lookup(0, hot)
+        assert cache.stats.hits > 15_000
+        assert len(cache._heap) <= 2 * 32 + 16
+        # Compaction must not corrupt eviction order: the oldest-by-tick
+        # resident is still the one a tie evicts.
+        assert len(cache) == 32
+
+    def test_hot_rows_survive_a_cold_scan(self):
+        cache = EmbeddingCache(capacity_rows=8, policy="lfu")
+        hot = rows(0, 1, 2, 3)
+        for _ in range(5):
+            cache.lookup(0, hot)
+        cache.lookup(0, np.arange(100, 140, dtype=np.int64))  # cold scan
+        assert cache.lookup(0, hot).all(), "frequent rows must outlive the scan"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_same_stream_produces_identical_stats(self, policy):
+        stream = np.random.default_rng(3).integers(0, 50, size=400)
+        a = EmbeddingCache(capacity_rows=16, policy=policy, seed=1)
+        b = EmbeddingCache(capacity_rows=16, policy=policy, seed=1)
+        hits_a = [a.lookup(0, chunk) for chunk in np.split(stream, 8)]
+        hits_b = [b.lookup(0, chunk) for chunk in np.split(stream, 8)]
+        for left, right in zip(hits_a, hits_b):
+            assert np.array_equal(left, right)
+        assert a.stats.to_dict() == b.stats.to_dict()
+        assert a.evictions == b.evictions
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_stats_stay_consistent(self, policy):
+        cache = EmbeddingCache(capacity_rows=8, policy=policy)
+        cache.lookup(0, np.random.default_rng(5).integers(0, 30, size=200))
+        cache.stats.validate()
+        assert len(cache) <= 8
+
+
+class TestValidation:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingCache(capacity_rows=0)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingCache(capacity_rows=4, policy="mru")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingCache(capacity_rows=4, seed=-1)
+
+
+class TestCacheConfig:
+    def test_rows_capacity_passes_through(self):
+        model = homogeneous_dlrm(
+            name="cfg", num_tables=2, rows_per_table=100, gathers_per_table=2
+        )
+        cache = CacheConfig(policy="lfu", capacity_rows=64).build(model)
+        assert cache.capacity_rows == 64
+        assert cache.policy == "lfu"
+
+    def test_byte_capacity_resolves_against_row_bytes(self):
+        model = homogeneous_dlrm(
+            name="cfg-bytes",
+            num_tables=2,
+            rows_per_table=100,
+            gathers_per_table=2,
+            embedding_dim=32,  # 128-byte rows
+        )
+        config = CacheConfig(policy="lru", capacity_bytes=128 * 10)
+        assert config.resolve_rows(model) == 10
+
+    def test_byte_capacity_below_one_row_rejected(self):
+        model = homogeneous_dlrm(
+            name="cfg-tiny", num_tables=1, rows_per_table=10, gathers_per_table=1
+        )
+        with pytest.raises(ConfigurationError):
+            CacheConfig(capacity_bytes=8).resolve_rows(model)
+
+    def test_exactly_one_capacity_required(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig()
+        with pytest.raises(ConfigurationError):
+            CacheConfig(capacity_rows=4, capacity_bytes=4096)
+
+    def test_describe_round_trips_through_the_spec_parser(self):
+        config = CacheConfig(policy="lfu", capacity_rows=128)
+        assert parse_cache_spec(config.describe()) == config
+
+
+class TestSpecParsing:
+    def test_rows_spec(self):
+        config = parse_cache_spec("lru:rows=4096")
+        assert config == CacheConfig(policy="lru", capacity_rows=4096)
+
+    def test_bytes_spec(self):
+        config = parse_cache_spec("lfu:bytes=1048576")
+        assert config == CacheConfig(policy="lfu", capacity_bytes=1048576)
+
+    def test_bare_count_means_rows(self):
+        assert parse_cache_spec("lru:512") == CacheConfig(policy="lru", capacity_rows=512)
+
+    @pytest.mark.parametrize("spec", [None, "", "off", "none"])
+    def test_disabled_specs(self, spec):
+        assert parse_cache_spec(spec) is None
+
+    @pytest.mark.parametrize("spec", ["lru", "mru:rows=4", "lru:pages=4", "lru:rows=x"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_cache_spec(spec)

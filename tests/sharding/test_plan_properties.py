@@ -1,0 +1,90 @@
+"""Property-based invariants of sharding plans.
+
+Whatever the strategy, shard count or model shape, a plan must be a *true
+partition* of the model's ``(table, row)`` space: every pair is owned by
+exactly one shard (ownership is total, single-valued and deterministic),
+the per-shard resident bytes sum to the model's total embedding bytes (no
+row lost or duplicated), and a declared per-shard capacity is never
+exceeded by a successfully built plan.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.models import (
+    DLRMConfig,
+    EmbeddingTableConfig,
+    MLPConfig,
+)
+from repro.errors import ConfigurationError
+from repro.sharding import STRATEGIES, make_plan
+
+
+def build_model(row_counts, embedding_dim):
+    tables = tuple(
+        EmbeddingTableConfig(num_rows=rows, embedding_dim=embedding_dim, gathers=2)
+        for rows in row_counts
+    )
+    interaction_dim = embedding_dim + (len(tables) + 1) * len(tables) // 2
+    return DLRMConfig(
+        name=f"prop-{len(tables)}x{embedding_dim}",
+        tables=tables,
+        num_dense_features=13,
+        bottom_mlp=MLPConfig(layer_dims=(13, embedding_dim)),
+        top_mlp=MLPConfig(layer_dims=(interaction_dim, 1)),
+    )
+
+
+MODEL_STRATEGY = st.builds(
+    build_model,
+    row_counts=st.lists(
+        st.integers(min_value=1, max_value=5_000), min_size=1, max_size=12
+    ),
+    embedding_dim=st.sampled_from([8, 16, 32]),
+)
+PLAN_AXES = st.tuples(
+    st.integers(min_value=1, max_value=9),
+    st.sampled_from(sorted(STRATEGIES)),
+)
+
+
+class TestPartitionProperty:
+    @given(model=MODEL_STRATEGY, axes=PLAN_AXES)
+    @settings(max_examples=60, deadline=None)
+    def test_every_table_row_owned_by_exactly_one_shard(self, model, axes):
+        num_shards, strategy = axes
+        plan = make_plan(model, num_shards, strategy)
+        for table_index, table in enumerate(model.tables):
+            rows = np.arange(table.num_rows, dtype=np.int64)
+            owners = plan.owner_of(table_index, rows)
+            # Total: one owner per row...
+            assert owners.shape == rows.shape
+            # ...in range...
+            assert owners.min() >= 0
+            assert owners.max() < num_shards
+            # ...and single-valued: re-asking never reassigns a row.
+            assert np.array_equal(owners, plan.owner_of(table_index, rows))
+
+    @given(model=MODEL_STRATEGY, axes=PLAN_AXES)
+    @settings(max_examples=60, deadline=None)
+    def test_shard_bytes_conserve_the_model(self, model, axes):
+        num_shards, strategy = axes
+        plan = make_plan(model, num_shards, strategy)
+        assert sum(plan.shard_bytes) == pytest.approx(model.embedding_table_bytes)
+        assert all(value >= 0 for value in plan.shard_bytes)
+        assert plan.imbalance >= 1.0 - 1e-12
+
+    @given(model=MODEL_STRATEGY, axes=PLAN_AXES)
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_is_respected_or_construction_fails(self, model, axes):
+        num_shards, strategy = axes
+        unconstrained = make_plan(model, num_shards, strategy)
+        heaviest = max(unconstrained.shard_bytes)
+        # At the heaviest shard's size the plan builds and never overflows.
+        plan = make_plan(model, num_shards, strategy, capacity_bytes=heaviest)
+        assert max(plan.shard_bytes) <= plan.capacity_bytes
+        # Below it, construction must refuse rather than overflow silently.
+        if heaviest > 1:
+            with pytest.raises(ConfigurationError):
+                make_plan(model, num_shards, strategy, capacity_bytes=heaviest - 1)

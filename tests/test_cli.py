@@ -148,6 +148,117 @@ class TestServe:
         out = capsys.readouterr().out
         assert "Autoscale timeline" in out
 
+    def test_sharded_serving_report(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "centaur",
+                "--model", "DLRM2",
+                "--workload", "poisson:20000",
+                "--trace", "zipf:1.05",
+                "--requests", "1500",
+                "--shards", "4",
+                "--shard-strategy", "row",
+                "--cache", "lru:rows=4096",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded serving of DLRM(2)" in out
+        assert "hit rate %" in out
+        assert "x-shard MB" in out
+        assert "Centaur x4 row shards, cache lru:rows=4096" in out
+
+    def test_shards_spec_carries_the_strategy(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "centaur",
+                "--model", "DLRM2",
+                "--requests", "800",
+                "--shards", "2:greedy",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Centaur x2 greedy shards, cache off" in out
+
+    def test_bad_shards_spec_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "centaur",
+                "--model", "DLRM2",
+                "--requests", "800",
+                "--shards", "2:warp",
+            ]
+        ) == 2
+        assert "unknown sharding strategy" in capsys.readouterr().err
+
+    def test_cache_alone_enables_the_sharded_path(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--trace", "hotcold:frac=0.05,weight=0.9",
+                "--requests", "1000",
+                "--cache", "lfu:rows=2048",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded serving" in out
+
+    def test_shards_conflict_with_autoscale(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "500",
+                "--shards", "2",
+                "--autoscale", "schedule:0=2",
+            ]
+        ) == 2
+        assert "--shards/--cache" in capsys.readouterr().err
+
+    def test_cache_off_spelling_stays_on_the_plain_path(self, capsys):
+        # 'off' is a documented no-cache spelling: it must neither reroute
+        # a plain serve through the sharded path nor conflict with
+        # --autoscale.
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "800",
+                "--cache", "off",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CPU-only x1" in out
+        assert "Sharded serving" not in out
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "800",
+                "--cache", "off",
+                "--autoscale", "schedule:0=2",
+                "--max-replicas", "2",
+            ]
+        ) == 0
+
+    def test_bad_cache_spec_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "500",
+                "--cache", "mru:rows=4",
+            ]
+        ) == 2
+
     def test_autoscale_rejects_bad_spec(self, capsys):
         assert main(
             [
