@@ -367,6 +367,24 @@ def render_serving_comparison(
     return table.render()
 
 
+def render_profile(profile, title: str = "Engine profile") -> str:
+    """Render a :class:`~repro.sim.profile.SimProfile` as a text table.
+
+    One row per event label, heaviest cumulative wall-clock first, plus a
+    totals row.  Shares are fractions of the recorded callback time.
+    """
+    table = TextTable(
+        ["event label", "count", "total (s)", "mean (µs)", "share %"],
+        title=title,
+    )
+    for label, count, seconds, mean_us, share in profile.rows():
+        table.add_row([label, count, seconds, mean_us, 100.0 * share])
+    table.add_row(
+        ["(total)", profile.total_events, profile.total_seconds, "", ""]
+    )
+    return table.render()
+
+
 def render_sharding_report(
     reports,
     sla_s: float = 5e-3,

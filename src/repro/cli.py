@@ -184,6 +184,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache=cache_config,
             batching=batching,
             system=HARPV2_SYSTEM,
+            queue=args.queue,
+            profile=args.profile,
         )
         report = group.serve_workload(
             workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
@@ -201,6 +203,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 title=f"Sharded serving of {model.name} under {workload.name}",
             )
         )
+        if group.last_profile is not None:
+            from repro.analysis.report import render_profile
+
+            print()
+            print(render_profile(group.last_profile))
         return 0
     if args.autoscale is not None:
         check_elastic_support(args.backend)
@@ -222,26 +229,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             control_interval_s=args.control_interval,
             warmup_s=warmup,
             batching=batching,
+            queue=args.queue,
+            profile=args.profile,
         )
         report = cluster.serve_workload(
             workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
         )
         label = f"{backend.design_point} autoscaled ({policy.name})"
         timeline = render_autoscale_timeline(report, sla_s=args.sla)
+        profiled = cluster
     elif args.replicas == 1:
-        simulator = ServingSimulator(backend, model, batching=batching)
+        simulator = ServingSimulator(
+            backend, model, batching=batching, queue=args.queue, profile=args.profile
+        )
         report = simulator.serve_workload(
             workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
         )
         label = f"{backend.design_point} x1"
+        profiled = simulator
     else:
         cluster = ClusterSimulator(
-            backend, model, num_replicas=args.replicas, batching=batching
+            backend,
+            model,
+            num_replicas=args.replicas,
+            batching=batching,
+            queue=args.queue,
+            profile=args.profile,
         )
         report = cluster.serve_workload(
             workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
         )
         label = f"{backend.design_point} x{args.replicas}"
+        profiled = cluster
     print(f"workload: {workload.describe()}")
     if workload.trace.kind != "uniform":
         print(
@@ -259,6 +278,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if timeline is not None:
         print()
         print(timeline)
+    if profiled.last_profile is not None:
+        from repro.analysis.report import render_profile
+
+        print()
+        print(render_profile(profiled.last_profile))
     return 0
 
 
@@ -435,6 +459,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="replica warm-up in seconds (default: the backend's registered hint)",
+    )
+    serve_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-event-label engine profile after the serving table",
+    )
+    serve_parser.add_argument(
+        "--queue",
+        choices=["auto", "heap", "calendar"],
+        default="auto",
+        help="event-queue implementation for the simulation engine",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

@@ -58,7 +58,7 @@ from repro.serving.cluster import (
 )
 from repro.serving.dispatch import Dispatcher
 from repro.serving.replica import ReplicaServer, drive_stream
-from repro.sim.engine import Simulator
+from repro.sim.engine import QueueSpec, Simulator
 from repro.workloads.arrivals import InferenceRequest
 
 
@@ -436,6 +436,8 @@ class AutoscalingCluster(HeterogeneousCluster):
         dispatcher: Optional[Dispatcher] = None,
         batching: Optional[BatchingPolicy] = None,
         system: Optional[SystemConfig] = None,
+        queue: QueueSpec = "auto",
+        profile: bool = False,
     ):
         if min_replicas <= 0:
             raise SimulationError(f"min_replicas must be positive, got {min_replicas}")
@@ -468,6 +470,8 @@ class AutoscalingCluster(HeterogeneousCluster):
             dispatcher=dispatcher,
             batching=batching,
             system=system,
+            queue=queue,
+            profile=profile,
         )
         self.policy = policy
         self.min_replicas = min_replicas
@@ -512,6 +516,8 @@ class AutoscalingCluster(HeterogeneousCluster):
                 dispatcher=self.dispatcher,
                 batching=None,
                 system=None,
+                queue=self.queue,
+                profile=self.profile,
             )
             # Share the template's prediction cache so disabled and static
             # runs price device points identically (and only once).
@@ -520,6 +526,7 @@ class AutoscalingCluster(HeterogeneousCluster):
                 requests, extra_models=extra_models, report_label=report_label
             )
             self.last_outcome = static.last_outcome
+            self.last_profile = static.last_profile
             return report
         if isinstance(requests, Sequence):
             iterator = iter(
@@ -527,7 +534,7 @@ class AutoscalingCluster(HeterogeneousCluster):
             )
         else:
             iterator = iter(requests)
-        sim = Simulator()
+        sim = Simulator(queue=self.queue, profile=self.profile)
         replicas = self._build_replicas(sim, extra_models=extra_models)
         self.dispatcher.reset()
         self.policy.reset()
@@ -538,6 +545,7 @@ class AutoscalingCluster(HeterogeneousCluster):
         outcome = drive_stream(sim, replicas, stream, controller.route)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
+        self.last_profile = sim.profile
         self.last_outcome = outcome
         return controller.build_report(report_label or self.model.name)
 

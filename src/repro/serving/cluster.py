@@ -39,7 +39,8 @@ from repro.serving.replica import (
     StreamOutcome,
     drive_stream,
 )
-from repro.sim.engine import Simulator
+from repro.sim.engine import QueueSpec, Simulator
+from repro.sim.profile import SimProfile
 from repro.workloads.arrivals import InferenceRequest, PoissonArrivals
 from repro.workloads.workload import Workload
 
@@ -175,6 +176,10 @@ class HeterogeneousCluster:
             defaults to a 2 ms window capped at 64.
         system: Hardware platform used to resolve backend names; required
             only when a spec names a backend instead of carrying a runner.
+        queue: Event-queue selector forwarded to the engine
+            (``"auto"``/``"heap"``/``"calendar"``, or a queue class).
+        profile: Record a per-event-label engine profile for every serve;
+            the latest one is exposed as :attr:`last_profile`.
     """
 
     def __init__(
@@ -184,6 +189,8 @@ class HeterogeneousCluster:
         dispatcher: Optional[Dispatcher] = None,
         batching: Optional[BatchingPolicy] = None,
         system: Optional[SystemConfig] = None,
+        queue: QueueSpec = "auto",
+        profile: bool = False,
     ):
         if not specs:
             raise SimulationError("a cluster needs at least one replica")
@@ -212,6 +219,11 @@ class HeterogeneousCluster:
         self._caches = {}
         for spec in self.specs:
             self._caches.setdefault(id(spec.runner), {})
+        self.queue = queue
+        self.profile = profile
+        #: Engine profile of the most recent :meth:`serve` call (``None``
+        #: until the first profiled run).
+        self.last_profile: Optional[SimProfile] = None
         #: Conservation counters of the most recent :meth:`serve` call.
         self.last_outcome: Optional[StreamOutcome] = None
 
@@ -316,7 +328,7 @@ class HeterogeneousCluster:
         """
         if isinstance(requests, Sequence) and not requests:
             raise SimulationError("cannot serve an empty request stream")
-        sim = Simulator()
+        sim = Simulator(queue=self.queue, profile=self.profile)
         replicas = self._build_replicas(sim, extra_models=extra_models)
         self.dispatcher.reset()
 
@@ -326,6 +338,7 @@ class HeterogeneousCluster:
         outcome = drive_stream(sim, replicas, requests, route)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
+        self.last_profile = sim.profile
         self.last_outcome = outcome
 
         label = report_label or self.model.name
@@ -398,6 +411,8 @@ class ClusterSimulator(HeterogeneousCluster):
         batching: Optional[BatchingPolicy] = None,
         dispatcher: Optional[Dispatcher] = None,
         system: Optional[SystemConfig] = None,
+        queue: QueueSpec = "auto",
+        profile: bool = False,
     ):
         if num_replicas <= 0:
             raise SimulationError(f"num_replicas must be positive, got {num_replicas}")
@@ -413,6 +428,8 @@ class ClusterSimulator(HeterogeneousCluster):
             model,
             dispatcher=dispatcher,
             batching=batching,
+            queue=queue,
+            profile=profile,
         )
         self.runner = runner
         self.batching = batching

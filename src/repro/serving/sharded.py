@@ -52,7 +52,8 @@ from repro.serving.replica import (
 )
 from repro.sharding.cache import CacheConfig, EmbeddingCache
 from repro.sharding.plan import ShardingPlan, ShardingStrategy, make_plan
-from repro.sim.engine import Simulator
+from repro.sim.engine import QueueSpec, Simulator
+from repro.sim.profile import SimProfile
 from repro.workloads.arrivals import InferenceRequest
 from repro.workloads.traces import TraceModel, UniformTrace
 from repro.workloads.workload import Workload
@@ -310,6 +311,9 @@ class ShardedReplicaGroup:
         batching: Batching policy of the group's shared queue.
         system: Hardware platform — prices the cross-shard link and
             resolves backend names; defaults to the runner's own system.
+        queue: Event-queue selector forwarded to the engine.
+        profile: Record a per-event-label engine profile for every serve;
+            the latest one is exposed as :attr:`last_profile`.
     """
 
     def __init__(
@@ -322,6 +326,8 @@ class ShardedReplicaGroup:
         cache: Optional[CacheConfig] = None,
         batching: Optional[BatchingPolicy] = None,
         system: Optional[SystemConfig] = None,
+        queue: QueueSpec = "auto",
+        profile: bool = False,
     ):
         if isinstance(runner, str):
             if system is None:
@@ -350,6 +356,11 @@ class ShardedReplicaGroup:
                 "a multi-shard group needs a system configuration to price "
                 "cross-shard transfers"
             )
+        self.queue = queue
+        self.profile = profile
+        #: Engine profile of the most recent serve (``None`` until the
+        #: first profiled run).
+        self.last_profile: Optional[SimProfile] = None
         # Shared runner-prediction cache, one per group (mirrors clusters).
         self._service_cache: Dict = {}
         #: Conservation counters of the most recent serve call.
@@ -380,7 +391,7 @@ class ShardedReplicaGroup:
         """
         if isinstance(requests, Sequence) and not requests:
             raise SimulationError("cannot serve an empty request stream")
-        sim = Simulator()
+        sim = Simulator(queue=self.queue, profile=self.profile)
         service = ServiceModel(self.runner, self.model, self._service_cache)
         caches = None
         if self.cache_config is not None:
@@ -403,6 +414,7 @@ class ShardedReplicaGroup:
         outcome = drive_stream(sim, [replica], requests, lambda request: replica)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
+        self.last_profile = sim.profile
         self.last_outcome = outcome
 
         label = report_label or self.model.name

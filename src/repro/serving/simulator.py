@@ -36,7 +36,8 @@ from repro.serving.replica import (
     ServiceModel,
     drive_stream,
 )
-from repro.sim.engine import Simulator
+from repro.sim.engine import QueueSpec, Simulator
+from repro.sim.profile import SimProfile
 from repro.workloads.arrivals import InferenceRequest, PoissonArrivals
 from repro.workloads.workload import Workload
 
@@ -50,6 +51,10 @@ class ServingSimulator:
         runner: A design-point runner (CPU-only, CPU-GPU or Centaur).
         model: Workload configuration served by the device.
         batching: Batching policy; defaults to a 2 ms window capped at 64.
+        queue: Event-queue selector forwarded to the engine
+            (``"auto"``/``"heap"``/``"calendar"``, an instance, or a class).
+        profile: Record a per-event-label engine profile for every serve;
+            the latest one is exposed as :attr:`last_profile`.
     """
 
     def __init__(
@@ -57,10 +62,17 @@ class ServingSimulator:
         runner: DesignPointRunner,
         model: DLRMConfig,
         batching: Optional[BatchingPolicy] = None,
+        queue: QueueSpec = "auto",
+        profile: bool = False,
     ):
         self.runner = runner
         self.model = model
         self.batching = batching if batching is not None else default_batching()
+        self.queue = queue
+        self.profile = profile
+        #: Engine profile of the most recent serve (``None`` until the first
+        #: profiled run).
+        self.last_profile: Optional[SimProfile] = None
         self._service = ServiceModel(runner, model)
 
     # ------------------------------------------------------------------
@@ -88,7 +100,7 @@ class ServingSimulator:
                 extra_models=extra_models,
             )
         )
-        sim = Simulator()
+        sim = Simulator(queue=self.queue, profile=self.profile)
         replica = ReplicaServer(
             sim,
             service,
@@ -98,6 +110,7 @@ class ServingSimulator:
         outcome = drive_stream(sim, [replica], requests, lambda request: replica)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
+        self.last_profile = sim.profile
         return replica.build_report(report_label or self.model.name)
 
     # ------------------------------------------------------------------

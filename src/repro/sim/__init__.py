@@ -1,18 +1,33 @@
 """A minimal discrete-event simulation engine.
 
 Used by the detailed (cycle-approximate) mode of the Centaur EB-Streamer to
-model gather requests in flight over the chiplet link, and available to any
-other component that wants event-level timing rather than closed-form
-estimates.
+model gather requests in flight over the chiplet link, and by the serving
+stack (replicas, clusters, autoscalers, shard groups) for fleet-scale
+event-driven runs.  The hot path is tuned for million-event simulations:
+``__slots__`` events recycled through a free-list pool, a C-heap default
+queue with a :class:`CalendarQueue` alternative behind the same interface,
+and an opt-in per-label profile (``Simulator(profile=True)``).
 """
 
-from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import (
+    BaseEventQueue,
+    Event,
+    EventQueue,
+    Simulator,
+    make_event_queue,
+)
+from repro.sim.profile import SimProfile
 from repro.sim.resources import BandwidthResource, TokenPool
 
 __all__ = [
+    "BaseEventQueue",
+    "CalendarQueue",
     "Event",
     "EventQueue",
+    "SimProfile",
     "Simulator",
+    "make_event_queue",
     "BandwidthResource",
     "TokenPool",
 ]

@@ -1,0 +1,162 @@
+"""A calendar (bucketed) event queue with exact heap-equivalent semantics.
+
+The classic discrete-event structure (R. Brown, CACM 1988): time is cut
+into fixed-width *days* (buckets) arranged in a ring of *years*.  An event
+lands in the bucket of its day; popping scans forward from the current day
+and only considers events belonging to the year under the cursor, so each
+operation is O(1) amortized when the bucket width tracks the mean
+inter-event gap — the structure resizes itself to keep it there.
+
+Correctness contract (pinned by ``tests/sim/test_queues.py`` and the
+integration equivalence matrix): pop order is *identical* to the binary
+heap's, i.e. strictly ``(time, sequence)``.  Two events with equal time
+always hash to the same bucket, and every bucket is itself a ``(time,
+sequence)`` min-heap, so ties break exactly as the heap breaks them.
+
+When to use it: very deep, densely scheduled queues (hundreds of
+thousands of outstanding events).  At serving-simulation depths (tens of
+in-flight events) the C-implemented binary heap wins — which is why
+``Simulator(queue="auto")`` resolves to the heap; see
+``BENCH_engine.json`` for the measured comparison.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import BaseEventQueue, Event, _Entry
+
+__all__ = ["CalendarQueue"]
+
+#: Resize bounds: grow when the ring holds > ``_GROW_FACTOR`` events per
+#: bucket, shrink below half an event per bucket.
+_GROW_FACTOR = 2
+_MIN_BUCKETS = 4
+#: Sample size used to re-estimate the bucket width on resize.
+_WIDTH_SAMPLE = 64
+
+
+class CalendarQueue(BaseEventQueue):
+    """Bucket/calendar priority queue of :class:`~repro.sim.engine.Event`.
+
+    Args:
+        pool: Recycle fired events through a free list (default on).
+        bucket_width: Initial day width in simulated seconds; adapted on
+            every resize to ~3x the observed mean inter-event gap.
+        num_buckets: Initial ring size (doubled/halved as the population
+            grows and shrinks).
+    """
+
+    kind = "calendar"
+
+    def __init__(
+        self,
+        pool: bool = True,
+        bucket_width: float = 1e-4,
+        num_buckets: int = 16,
+    ) -> None:
+        super().__init__(pool=pool)
+        if bucket_width <= 0:
+            raise SimulationError(
+                f"bucket_width must be positive, got {bucket_width}"
+            )
+        if num_buckets < 1:
+            raise SimulationError(f"num_buckets must be positive, got {num_buckets}")
+        self._width = float(bucket_width)
+        self._num_buckets = int(num_buckets)
+        self._buckets: List[List[_Entry]] = [[] for _ in range(self._num_buckets)]
+        self._count = 0
+        #: Virtual day index of the pop cursor (floor(last popped / width)).
+        self._vday = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- storage primitives ---------------------------------------------
+    def _insert(self, entry: _Entry) -> None:
+        heappush(self._buckets[int(entry[0] / self._width) % self._num_buckets], entry)
+        self._count += 1
+        if self._count > _GROW_FACTOR * self._num_buckets:
+            self._resize(self._num_buckets * 2)
+
+    def _take_min(self) -> _Entry:
+        buckets = self._buckets
+        num_buckets = self._num_buckets
+        width = self._width
+        vday = self._vday
+        for offset in range(num_buckets):
+            day = vday + offset
+            bucket = buckets[day % num_buckets]
+            # The bucket's head is its earliest entry; it belongs to the
+            # year under the cursor iff its day — computed with the exact
+            # arithmetic _insert used, so float rounding can never disagree
+            # — is the day under the cursor.
+            if bucket and int(bucket[0][0] / width) == day:
+                self._vday = day
+                entry = heappop(bucket)
+                break
+        else:
+            # A sparse year: nothing within one full ring scan.  Jump the
+            # cursor straight to the globally earliest entry.
+            entry = self._direct_min()
+            day = int(entry[0] / width)
+            self._vday = day
+            heappop(buckets[day % num_buckets])
+        self._count -= 1
+        if (
+            self._num_buckets > _MIN_BUCKETS
+            and self._count * _GROW_FACTOR < self._num_buckets
+        ):
+            self._resize(max(_MIN_BUCKETS, self._num_buckets // 2))
+        return entry
+
+    def _direct_min(self) -> _Entry:
+        best: Optional[_Entry] = None
+        for bucket in self._buckets:
+            # Equal times always share a bucket, so comparing heads never
+            # ties on time and the comparison stops before the Event field.
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        if best is None:  # pragma: no cover - guarded by pop()'s len check
+            raise SimulationError("cannot pop from an empty event queue")
+        return best
+
+    def _min_entry(self) -> Optional[_Entry]:
+        if self._count == 0:
+            return None
+        return self._direct_min()
+
+    def _compact_entries(self) -> List[Event]:
+        dropped: List[Event] = []
+        for index, bucket in enumerate(self._buckets):
+            if not any(entry[2].cancelled for entry in bucket):
+                continue
+            dropped.extend(entry[2] for entry in bucket if entry[2].cancelled)
+            live = [entry for entry in bucket if not entry[2].cancelled]
+            heapify(live)
+            self._buckets[index] = live
+        self._count -= len(dropped)
+        return dropped
+
+    # -- resizing ---------------------------------------------------------
+    def _resize(self, num_buckets: int) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        self._width = self._estimate_width(entries)
+        self._num_buckets = num_buckets
+        self._buckets = [[] for _ in range(num_buckets)]
+        width = self._width
+        for entry in entries:
+            heappush(self._buckets[int(entry[0] / width) % num_buckets], entry)
+        self._vday = int(self._floor / width)
+
+    def _estimate_width(self, entries: List[_Entry]) -> float:
+        """~3x the mean gap of a sample of queued times (Brown's rule)."""
+        if len(entries) < 2:
+            return self._width
+        times = sorted(entry[0] for entry in entries[:_WIDTH_SAMPLE])
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            return self._width
+        return 3.0 * span / (len(times) - 1)

@@ -1,0 +1,76 @@
+"""Heap vs calendar queue: identical serving outcomes across the matrix.
+
+The calendar queue's correctness contract is *observational equivalence*
+with the binary heap: same ``(time, sequence)`` pop order means the same
+event execution order means bit-identical serving results.  This test
+drives every (dispatcher x batching x autoscaler) combination of the
+determinism matrix once per queue implementation and compares the full
+outcome fingerprint — stream conservation counters, per-replica counters,
+the raw latency sample array, energy totals and autoscale timelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.config import DLRM2, HARPV2_SYSTEM
+from repro.serving import AutoscalingCluster
+from repro.workloads import OnOffArrivals, Workload
+
+from tests.integration.test_determinism_matrix import (
+    AUTOSCALERS,
+    BATCHINGS,
+    DISPATCHERS,
+    _fingerprint,
+)
+
+SEED = 11
+NUM_REQUESTS = 600
+
+
+def _run(queue: str, dispatcher_key: str, batching_key: str, autoscaler_key: str):
+    """One complete serving run on the given queue, all objects fresh."""
+    backend = get_backend("cpu", HARPV2_SYSTEM)
+    workload = Workload(
+        arrivals=OnOffArrivals(
+            on_rate_qps=50_000.0, off_rate_qps=10_000.0, mean_on_s=0.01, mean_off_s=0.01
+        ),
+        name="bursty",
+    )
+    policy_factory = AUTOSCALERS[autoscaler_key]
+    cluster = AutoscalingCluster(
+        backend,
+        DLRM2,
+        policy=policy_factory() if policy_factory is not None else None,
+        min_replicas=2,
+        max_replicas=4,
+        initial_replicas=2,
+        control_interval_s=5e-3,
+        warmup_s=2e-3,
+        dispatcher=DISPATCHERS[dispatcher_key](),
+        batching=BATCHINGS[batching_key](),
+        queue=queue,
+    )
+    report = cluster.serve_workload(workload, num_requests=NUM_REQUESTS, seed=SEED)
+    return report, cluster.last_outcome
+
+
+@pytest.mark.parametrize("dispatcher_key", sorted(DISPATCHERS))
+@pytest.mark.parametrize("batching_key", sorted(BATCHINGS))
+@pytest.mark.parametrize("autoscaler_key", sorted(AUTOSCALERS))
+def test_calendar_queue_matches_heap(dispatcher_key, batching_key, autoscaler_key):
+    heap_report, heap_outcome = _run(
+        "heap", dispatcher_key, batching_key, autoscaler_key
+    )
+    cal_report, cal_outcome = _run(
+        "calendar", dispatcher_key, batching_key, autoscaler_key
+    )
+
+    assert heap_outcome == cal_outcome
+    assert _fingerprint(heap_report, heap_outcome) == _fingerprint(
+        cal_report, cal_outcome
+    )
+    np.testing.assert_array_equal(
+        heap_report.latency.samples_s, cal_report.latency.samples_s
+    )
+    assert heap_outcome.scheduled == heap_outcome.completed == NUM_REQUESTS

@@ -1,0 +1,257 @@
+"""Heap vs calendar queue: interface, pooling, cancellation, equivalence.
+
+The contract under test: :class:`CalendarQueue` is observationally
+identical to the binary-heap :class:`EventQueue` — same ``(time,
+sequence)`` pop order (ties included), same validation errors, same
+pooling and compaction behaviour — so a simulation's outcome can never
+depend on which queue backs it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import (
+    BaseEventQueue,
+    EventQueue,
+    Simulator,
+    make_event_queue,
+)
+
+QUEUE_FACTORIES = {
+    "heap": EventQueue,
+    "calendar": CalendarQueue,
+}
+
+
+@pytest.fixture(params=sorted(QUEUE_FACTORIES))
+def queue(request):
+    return QUEUE_FACTORIES[request.param]()
+
+
+# ---------------------------------------------------------------------------
+# Shared interface contract, run against both implementations.
+# ---------------------------------------------------------------------------
+class TestQueueContract:
+    def test_orders_by_time(self, queue):
+        queue.push(3e-3, lambda: None, label="late")
+        queue.push(1e-3, lambda: None, label="early")
+        queue.push(2e-3, lambda: None, label="middle")
+        assert queue.peek_time() == 1e-3
+        assert [queue.pop().label for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion_order(self, queue):
+        labels = [f"tie{i}" for i in range(8)]
+        for label in labels:
+            queue.push(5e-4, lambda: None, label=label)
+        assert [queue.pop().label for _ in range(len(labels))] == labels
+
+    def test_push_before_current_time_raises_with_label(self, queue):
+        queue.push(1e-3, lambda: None)
+        queue.pop()
+        with pytest.raises(SimulationError, match=r"autoscale:control.*causality"):
+            queue.push(5e-4, lambda: None, label="autoscale:control")
+
+    def test_negative_time_rejected(self, queue):
+        with pytest.raises(SimulationError, match="non-negative"):
+            queue.push(-1e-6, lambda: None)
+
+    def test_pop_empty_raises_and_take_returns_none(self, queue):
+        assert queue.take() is None
+        with pytest.raises(SimulationError, match="empty"):
+            queue.pop()
+
+    def test_push_at_exactly_the_floor_is_allowed(self, queue):
+        queue.push(1e-3, lambda: None)
+        queue.pop()
+        event = queue.push(1e-3, lambda: None, label="same-time")
+        assert queue.pop() is event
+
+
+class TestEventPooling:
+    def test_fired_events_are_recycled(self, queue):
+        first = queue.push(1e-3, lambda: None)
+        queue.pop()
+        queue.release(first)
+        second = queue.push(2e-3, lambda: None)
+        assert second is first  # same object, re-initialized
+        assert second.time == 2e-3
+        assert not second.cancelled
+
+    def test_release_drops_the_callback_reference(self, queue):
+        event = queue.push(1e-3, lambda: None)
+        queue.pop()
+        queue.release(event)
+        assert event.callback is None
+
+    @pytest.mark.parametrize("kind", sorted(QUEUE_FACTORIES))
+    def test_pool_disabled_allocates_fresh_events(self, kind):
+        queue = QUEUE_FACTORIES[kind](pool=False)
+        first = queue.push(1e-3, lambda: None)
+        queue.pop()
+        queue.release(first)
+        second = queue.push(2e-3, lambda: None)
+        assert second is not first
+
+
+class TestCancellation:
+    def test_cancel_drops_callback_immediately(self, queue):
+        closure = []
+        event = queue.push(1e-3, lambda: closure.append(1))
+        event.cancel()
+        assert event.callback is None
+        assert event.cancelled
+
+    def test_cancel_is_idempotent(self, queue):
+        event = queue.push(1e-3, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.pop() is event
+
+    def test_mass_cancellation_compacts_storage(self, queue):
+        events = [queue.push(i * 1e-4, lambda: None, label=f"e{i}") for i in range(20)]
+        for event in events[:16]:
+            event.cancel()
+        # Once the dead fraction passed one half, compaction dropped the
+        # cancelled entries from storage instead of waiting for their times.
+        assert len(queue) < 20
+        live = []
+        while len(queue):
+            popped = queue.pop()
+            if not popped.cancelled:
+                live.append(popped.label)
+        assert live == ["e16", "e17", "e18", "e19"]
+
+    def test_small_queues_drain_cancels_lazily(self, queue):
+        live = queue.push(2e-3, lambda: None, label="live")
+        queue.push(1e-3, lambda: None, label="dead").cancel()
+        # Below the compaction threshold the cancelled entry stays queued...
+        assert len(queue) == 2
+        popped = queue.pop()
+        assert popped.cancelled and popped.label == "dead"
+        assert queue.pop() is live
+
+
+class TestMakeEventQueue:
+    def test_auto_and_heap_select_the_heap(self):
+        assert make_event_queue("auto").kind == "heap"
+        assert make_event_queue(None).kind == "heap"
+        assert make_event_queue("heap").kind == "heap"
+
+    def test_calendar_by_name_class_and_instance(self):
+        assert make_event_queue("calendar").kind == "calendar"
+        assert make_event_queue(CalendarQueue).kind == "calendar"
+        instance = CalendarQueue(bucket_width=1e-3)
+        assert make_event_queue(instance) is instance
+
+    def test_pool_flag_is_forwarded(self):
+        assert make_event_queue("heap", pool=False)._free is None
+        assert make_event_queue("calendar", pool=True)._free == []
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(SimulationError, match="unknown event queue"):
+            make_event_queue("fibonacci")
+        with pytest.raises(SimulationError, match="unknown event queue"):
+            make_event_queue(42)
+
+    def test_simulator_accepts_queue_spec(self):
+        assert Simulator(queue="calendar").queue.kind == "calendar"
+        assert Simulator(queue="auto", event_pool=False).queue._free is None
+
+
+class TestCalendarInternals:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError, match="bucket_width"):
+            CalendarQueue(bucket_width=0.0)
+        with pytest.raises(SimulationError, match="num_buckets"):
+            CalendarQueue(num_buckets=0)
+
+    def test_grow_and_shrink_preserve_order(self):
+        queue = CalendarQueue(bucket_width=1e-5, num_buckets=4)
+        times = [((i * 7919) % 1000) * 1e-4 for i in range(500)]
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = []
+        while len(queue):
+            popped.append(queue.pop().time)
+        assert popped == sorted(times)
+
+    def test_sparse_jump_finds_distant_events(self):
+        # One event far beyond a full ring scan from the cursor.
+        queue = CalendarQueue(bucket_width=1e-6, num_buckets=4)
+        queue.push(10.0, lambda: None, label="far")
+        queue.push(1e-6, lambda: None, label="near")
+        assert queue.pop().label == "near"
+        assert queue.pop().label == "far"
+
+
+# ---------------------------------------------------------------------------
+# Property-based equivalence: both queues pop any schedule identically.
+# ---------------------------------------------------------------------------
+
+#: Times drawn from a tiny grid so ties are common, plus booleans choosing
+#: push vs pop and whether to cancel a pending event.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop", "cancel"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _drive(queue: BaseEventQueue, ops) -> list:
+    """Apply an op sequence; return the observable trace."""
+    trace = []
+    pending = []
+    floor = 0.0
+    for op, value in ops:
+        if op == "push":
+            time = floor + value * 1e-4
+            event = queue.push(time, lambda: None, label=f"t{time:.6f}")
+            pending.append(event)
+            trace.append(("push", time))
+        elif op == "pop" and len(queue):
+            event = queue.pop()
+            floor = event.time
+            if event in pending:
+                pending.remove(event)
+            trace.append(("pop", event.time, event.sequence, event.cancelled))
+        elif op == "cancel" and pending:
+            event = pending.pop(value % len(pending))
+            event.cancel()
+            trace.append(("cancel", event.time, event.sequence))
+    while len(queue):
+        event = queue.pop()
+        trace.append(("pop", event.time, event.sequence, event.cancelled))
+    return trace
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_OPS)
+def test_heap_and_calendar_traces_are_identical(ops):
+    heap_trace = _drive(EventQueue(), ops)
+    calendar_trace = _drive(CalendarQueue(bucket_width=1e-4, num_buckets=4), ops)
+    assert heap_trace == calendar_trace
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e-2, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_bulk_pop_order_matches_heap_with_arbitrary_floats(times):
+    heap, calendar = EventQueue(), CalendarQueue(bucket_width=1e-4, num_buckets=8)
+    for time in times:
+        heap.push(time, lambda: None)
+        calendar.push(time, lambda: None)
+    heap_order = [(e.time, e.sequence) for e in (heap.pop() for _ in times)]
+    calendar_order = [(e.time, e.sequence) for e in (calendar.pop() for _ in times)]
+    assert heap_order == calendar_order
+    assert heap_order == sorted(heap_order)
