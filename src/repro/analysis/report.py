@@ -534,6 +534,91 @@ def render_autoscale_timeline(
     return table.render()
 
 
+def render_incident_timeline(
+    report,
+    title: str = "Incident timeline",
+) -> str:
+    """Render the chaos incidents of one serving run, one row per incident.
+
+    Accepts a :class:`~repro.serving.cluster.ClusterReport` whose
+    ``incidents`` field is populated (a run served with a fault schedule)
+    or an :class:`~repro.chaos.report.IncidentReport` directly.  Each row
+    shows the incident's window, how much traffic it shed or re-dispatched,
+    SLA attainment before/during/after, and the time-to-recover back to the
+    pre-incident p99.
+    """
+    incidents = report
+    if incidents is not None and not hasattr(incidents, "schedule"):
+        incidents = getattr(report, "incidents", None)
+    if incidents is None or not hasattr(incidents, "incidents"):
+        raise ValueError(
+            "report carries no incident data; serve with a fault schedule "
+            "(faults=...) to populate ClusterReport.incidents"
+        )
+    header = (
+        f"{title}: schedule [{incidents.schedule}], "
+        f"sla={incidents.sla_s * 1e3:.1f}ms, "
+        f"window={incidents.window_s * 1e3:.1f}ms, "
+        f"horizon={incidents.horizon_s * 1e3:.1f}ms"
+    )
+    table = TextTable(
+        [
+            "incident",
+            "window (ms)",
+            "cleared",
+            "shed",
+            "redisp",
+            "degraded",
+            "SLA before %",
+            "SLA during %",
+            "SLA after %",
+            "recover (ms)",
+            "recovery rep-s",
+        ],
+        title=header,
+    )
+    for incident in incidents.incidents:
+        end = incident.end_s if incident.end_s is not None else incidents.horizon_s
+        label = incident.kind if not incident.target else f"{incident.kind} {incident.target}"
+        table.add_row(
+            [
+                label,
+                f"{incident.start_s * 1e3:7.1f}-{end * 1e3:7.1f}",
+                "yes" if incident.cleared else "no",
+                incident.shed_requests,
+                incident.redispatched_requests,
+                incident.degraded_lookups,
+                100.0 * incident.sla_before,
+                100.0 * incident.sla_during,
+                100.0 * incident.sla_after,
+                (
+                    f"{incident.time_to_recover_s * 1e3:.1f}"
+                    if incident.time_to_recover_s is not None
+                    else "-"
+                ),
+                incident.recovery_replica_seconds,
+            ]
+        )
+    rendered = table.render()
+    worst_ttr = incidents.worst_time_to_recover_s
+    summary = (
+        f"\ntotals: shed={incidents.total_shed}, "
+        f"redispatched={incidents.total_redispatched}, "
+        f"degraded lookups={incidents.total_degraded_lookups}, "
+        f"worst SLA during={100.0 * incidents.worst_sla_during:.2f}%, "
+        f"worst time-to-recover="
+        + (f"{worst_ttr * 1e3:.1f}ms" if worst_ttr is not None else "not recovered")
+    )
+    notes = [
+        f"  note [{incident.kind}@{incident.start_s * 1e3:.1f}ms]: {incident.note}"
+        for incident in incidents.incidents
+        if incident.note
+    ]
+    if notes:
+        summary += "\n" + "\n".join(notes)
+    return rendered + summary
+
+
 def render_capacity_plan(plan, title: str = "Capacity plan") -> str:
     """Render a :class:`~repro.serving.planner.CapacityPlan` as a table."""
     table = TextTable(

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and resilience reporting.
+
+`repro.chaos` injects declarative, seed-deterministic fault schedules
+(replica crashes, shard loss, link degradation, brownouts) into serving
+simulations as ``chaos:`` control events, and measures what each incident
+cost: SLA attainment before/during/after, time-to-recover to the
+pre-incident p99, shed/re-dispatched requests, and the replica-second and
+energy bill of the recovery.
+"""
+
+from repro.chaos.faults import (
+    Brownout,
+    FaultSchedule,
+    FaultSpec,
+    LinkDegradation,
+    PoissonFaults,
+    ReplicaCrash,
+    ShardLoss,
+    parse_fault_schedule,
+)
+from repro.chaos.injector import FaultInjector
+from repro.chaos.report import Incident, IncidentReport, build_incident_report
+
+__all__ = [
+    "Brownout",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "Incident",
+    "IncidentReport",
+    "LinkDegradation",
+    "PoissonFaults",
+    "ReplicaCrash",
+    "ShardLoss",
+    "build_incident_report",
+    "parse_fault_schedule",
+]

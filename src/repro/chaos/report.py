@@ -1,0 +1,253 @@
+"""Incident accounting: what each injected fault cost the fleet.
+
+The :class:`~repro.chaos.injector.FaultInjector` records raw per-incident
+facts while the simulation runs (onset/clear times, shed and re-dispatched
+counts, energy and replica-second snapshots); :func:`build_incident_report`
+then folds the run's completion samples over those windows to produce the
+SLA view — attainment before/during/after each incident and the
+time-to-recover back to the pre-incident p99.
+
+Everything here is pure arithmetic over deterministic inputs, so equal
+seeds produce byte-identical :class:`IncidentReport` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: A recovered window may sit this fraction above the pre-incident p99
+#: before it counts as recovered (tail estimates over small windows are
+#: noisy; an exact-match bar would censor most real recoveries).
+_RECOVERY_TOLERANCE = 1.1
+
+#: Floor on the derived attainment/recovery window (seconds).
+_MIN_WINDOW_S = 5e-3
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One injected fault, measured.
+
+    Attributes:
+        kind: Fault kind tag (``"crash"``, ``"shard-loss"``, ``"link"``,
+            ``"brownout"``).
+        target: What broke, e.g. ``"replica:2"`` or ``"shard:0"``.
+        start_s: Fault onset (simulated seconds).
+        end_s: Service restoration — restart fully warmed, shard restored,
+            degradation window closed; the run horizon when the fault was
+            never cleared (``recovered`` distinguishes the two).
+        cleared: False when the fault was still open at end of run.
+        shed_requests: In-flight/arriving requests dropped by this fault.
+        redispatched_requests: In-flight requests re-routed to survivors.
+        degraded_lookups: Lookups served by the wrong shard under re-hash
+            failover (correctness loss; zero for non-shard faults).
+        recovery_replica_seconds: Replica-seconds billed between onset and
+            restoration.
+        recovery_energy_joules: Device energy spent between onset and
+            restoration.
+        sla_before: Attainment in the window before onset.
+        sla_during: Attainment between onset and restoration.
+        sla_after: Attainment in the window after restoration.
+        p99_before_s: Pre-incident p99 the recovery scan targets (0.0 when
+            nothing completed before onset).
+        time_to_recover_s: Time from onset until a full window's p99 first
+            returns to within 10% of ``p99_before_s``; ``None`` when the
+            run ends first (censored) or there is no pre-incident baseline.
+        note: Free-form detail (no-op crashes, total-outage sheds, ...).
+    """
+
+    kind: str
+    target: str
+    start_s: float
+    end_s: float
+    cleared: bool
+    shed_requests: int
+    redispatched_requests: int
+    degraded_lookups: int = 0
+    recovery_replica_seconds: float = 0.0
+    recovery_energy_joules: float = 0.0
+    sla_before: float = 1.0
+    sla_during: float = 1.0
+    sla_after: float = 1.0
+    p99_before_s: float = 0.0
+    time_to_recover_s: Optional[float] = None
+    note: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class IncidentReport:
+    """Resilience summary of one chaos-injected serving run.
+
+    Attached to :class:`~repro.serving.cluster.ClusterReport` as
+    ``incidents`` when the run carried a non-empty fault schedule.
+    """
+
+    schedule: str
+    sla_s: float
+    window_s: float
+    horizon_s: float
+    incidents: Tuple[Incident, ...]
+
+    @property
+    def total_shed(self) -> int:
+        return sum(incident.shed_requests for incident in self.incidents)
+
+    @property
+    def total_redispatched(self) -> int:
+        return sum(incident.redispatched_requests for incident in self.incidents)
+
+    @property
+    def total_degraded_lookups(self) -> int:
+        return sum(incident.degraded_lookups for incident in self.incidents)
+
+    def correctness_loss(self, total_lookups: int) -> float:
+        """Fraction of the run's lookups served degraded under re-hash."""
+        if total_lookups <= 0:
+            return 0.0
+        return self.total_degraded_lookups / total_lookups
+
+    @property
+    def worst_time_to_recover_s(self) -> Optional[float]:
+        """Largest measured time-to-recover; ``None`` if none was measurable."""
+        measured = [
+            incident.time_to_recover_s
+            for incident in self.incidents
+            if incident.time_to_recover_s is not None
+        ]
+        return max(measured) if measured else None
+
+    @property
+    def worst_sla_during(self) -> float:
+        if not self.incidents:
+            return 1.0
+        return min(incident.sla_during for incident in self.incidents)
+
+
+def _attainment(latencies: np.ndarray, sla_s: float) -> float:
+    """SLA attainment of one window; vacuous 1.0 on an empty window."""
+    if latencies.size == 0:
+        return 1.0
+    return float(np.count_nonzero(latencies <= sla_s)) / latencies.size
+
+
+def _p99(latencies: np.ndarray) -> float:
+    if latencies.size == 0:
+        return 0.0
+    return float(np.quantile(latencies, 0.99))
+
+
+def _window_slice(
+    times: np.ndarray, latencies: np.ndarray, start: float, end: float
+) -> np.ndarray:
+    lo = int(np.searchsorted(times, start, side="left"))
+    hi = int(np.searchsorted(times, end, side="left"))
+    return latencies[lo:hi]
+
+
+def _time_to_recover(
+    times: np.ndarray,
+    latencies: np.ndarray,
+    start_s: float,
+    p99_before_s: float,
+    window_s: float,
+    horizon_s: float,
+) -> Optional[float]:
+    """First window end (relative to onset) whose p99 is back to baseline.
+
+    Scans consecutive ``window_s`` buckets from the fault onset; a bucket
+    with at least one completion whose p99 is within
+    ``_RECOVERY_TOLERANCE`` of the pre-incident p99 marks recovery.  Empty
+    buckets during a total outage do *not* count as recovered — nothing
+    completing is the opposite of healthy.  Returns ``None`` when the run
+    ends before any bucket qualifies.
+    """
+    if p99_before_s <= 0.0:
+        return None
+    target = p99_before_s * _RECOVERY_TOLERANCE
+    edge = start_s
+    while edge < horizon_s:
+        window = _window_slice(times, latencies, edge, edge + window_s)
+        if window.size and _p99(window) <= target:
+            return edge + window_s - start_s
+        edge += window_s
+    return None
+
+
+def build_incident_report(
+    samples: Sequence[Tuple[float, float]],
+    incidents: Sequence[Incident],
+    schedule: str,
+    sla_s: float,
+    window_s: Optional[float],
+    horizon_s: float,
+) -> IncidentReport:
+    """Fold completion samples over raw incident windows into the report.
+
+    Args:
+        samples: ``(completion_time_s, latency_s)`` pairs pooled over the
+            fleet (any order).
+        incidents: Raw incidents from the injector — SLA fields still at
+            their defaults; this function fills them in.
+        schedule: ``FaultSchedule.describe()`` of the run.
+        sla_s: Latency budget for attainment.
+        window_s: Attainment/recovery bucket width; ``None`` derives it
+            from the longest incident (floored at 5 ms).
+        horizon_s: End of the simulated run.
+    """
+    if sla_s <= 0:
+        raise SimulationError(f"sla_s must be positive, got {sla_s}")
+    if samples:
+        pairs = np.asarray(sorted(samples), dtype=np.float64)
+        times = np.ascontiguousarray(pairs[:, 0])
+        latencies = np.ascontiguousarray(pairs[:, 1])
+    else:
+        times = np.empty(0, dtype=np.float64)
+        latencies = np.empty(0, dtype=np.float64)
+    if window_s is None:
+        longest = max(
+            (incident.duration_s for incident in incidents), default=0.0
+        )
+        window_s = max(longest, _MIN_WINDOW_S)
+    measured: List[Incident] = []
+    for incident in sorted(incidents, key=lambda record: record.start_s):
+        before = _window_slice(
+            times, latencies, incident.start_s - window_s, incident.start_s
+        )
+        during = _window_slice(times, latencies, incident.start_s, incident.end_s)
+        after = _window_slice(
+            times, latencies, incident.end_s, incident.end_s + window_s
+        )
+        p99_before = _p99(before)
+        measured.append(
+            replace(
+                incident,
+                sla_before=_attainment(before, sla_s),
+                sla_during=_attainment(during, sla_s),
+                sla_after=_attainment(after, sla_s),
+                p99_before_s=p99_before,
+                time_to_recover_s=_time_to_recover(
+                    times,
+                    latencies,
+                    incident.start_s,
+                    p99_before,
+                    window_s,
+                    horizon_s,
+                ),
+            )
+        )
+    return IncidentReport(
+        schedule=schedule,
+        sla_s=sla_s,
+        window_s=window_s,
+        horizon_s=horizon_s,
+        incidents=tuple(measured),
+    )

@@ -124,29 +124,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_workload_catalog
+    from repro.workloads.catalog import SCENARIO_CATALOG
 
     print(render_workload_catalog())
+    scenarios = TextTable(
+        ["name", "summary", "fault spec"],
+        title="Workload catalog: chaos scenarios",
+    )
+    for entry in SCENARIO_CATALOG.values():
+        scenarios.add_row([entry.name, entry.summary, entry.fault_spec])
+    print()
+    print(scenarios.render())
     print(
         "\nCompose specs with `repro serve --workload <arrival spec> "
-        "--trace <trace spec>`."
+        "--trace <trace spec>`; add `--faults <scenario|spec>` for a "
+        "resilience drill."
     )
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.analysis.report import render_autoscale_timeline, render_serving_comparison
+    from repro.analysis.report import (
+        render_autoscale_timeline,
+        render_incident_timeline,
+        render_serving_comparison,
+    )
     from repro.backends import backend_registration
     from repro.experiment.serving import check_elastic_support, check_workload_support
     from repro.serving.autoscale import AutoscalingCluster, parse_autoscaler_spec
     from repro.serving.batching import TimeoutBatching
     from repro.serving.cluster import ClusterSimulator
     from repro.serving.simulator import ServingSimulator
-    from repro.workloads.catalog import parse_arrival_spec, parse_trace_spec
+    from repro.workloads.catalog import (
+        SCENARIO_CATALOG,
+        parse_arrival_spec,
+        parse_trace_spec,
+        resolve_fault_spec,
+    )
     from repro.workloads.workload import Workload
 
     if (args.duration is None) == (args.requests is None):
         print("error: provide exactly one of --duration / --requests", file=sys.stderr)
         return 2
+    faults = resolve_fault_spec(args.faults)
+    scenario = (
+        SCENARIO_CATALOG.get(args.faults.strip().lower())
+        if args.faults is not None
+        else None
+    )
+    if scenario is not None:
+        print(f"chaos scenario '{scenario.name}': {scenario.summary}")
     workload = Workload(
         arrivals=parse_arrival_spec(args.workload),
         trace=parse_trace_spec(args.trace),
@@ -188,7 +215,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             profile=args.profile,
         )
         report = group.serve_workload(
-            workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
+            workload,
+            duration_s=args.duration,
+            num_requests=args.requests,
+            seed=args.seed,
+            faults=faults,
         )
         cache_label = cache_config.describe() if cache_config is not None else "off"
         label = (
@@ -203,6 +234,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 title=f"Sharded serving of {model.name} under {workload.name}",
             )
         )
+        if report.incidents is not None:
+            print()
+            print(render_incident_timeline(report))
         if group.last_profile is not None:
             from repro.analysis.report import render_profile
 
@@ -233,10 +267,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             profile=args.profile,
         )
         report = cluster.serve_workload(
-            workload, duration_s=args.duration, num_requests=args.requests, seed=args.seed
+            workload,
+            duration_s=args.duration,
+            num_requests=args.requests,
+            seed=args.seed,
+            faults=faults,
         )
         label = f"{backend.design_point} autoscaled ({policy.name})"
         timeline = render_autoscale_timeline(report, sla_s=args.sla)
+        profiled = cluster
+    elif faults is not None:
+        # A static fleet under chaos still needs elastic plumbing: restarting
+        # a crashed replica is a provisioning act, so the run is served on a
+        # policy-less AutoscalingCluster (bit-identical to the static path
+        # when the schedule is empty).
+        check_elastic_support(args.backend)
+        warmup = (
+            args.warmup
+            if args.warmup is not None
+            else backend_registration(args.backend).capabilities.provision_warmup_s
+        )
+        cluster = AutoscalingCluster(
+            backend,
+            model,
+            policy=None,
+            min_replicas=1,
+            max_replicas=max(args.replicas, 1),
+            initial_replicas=args.replicas,
+            warmup_s=warmup,
+            batching=batching,
+            queue=args.queue,
+            profile=args.profile,
+        )
+        report = cluster.serve_workload(
+            workload,
+            duration_s=args.duration,
+            num_requests=args.requests,
+            seed=args.seed,
+            faults=faults,
+        )
+        label = f"{backend.design_point} x{args.replicas} (chaos)"
         profiled = cluster
     elif args.replicas == 1:
         simulator = ServingSimulator(
@@ -278,6 +348,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if timeline is not None:
         print()
         print(timeline)
+    if getattr(report, "incidents", None) is not None:
+        print()
+        print(render_incident_timeline(report))
     if profiled.last_profile is not None:
         from repro.analysis.report import render_profile
 
@@ -459,6 +532,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="replica warm-up in seconds (default: the backend's registered hint)",
+    )
+    serve_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault schedule: a named scenario from "
+            "list-workloads (e.g. region-failover) or a ;-separated spec, "
+            "e.g. 'crash:at=0.05,restart=0.02;report:sla=0.005' "
+            "(kinds: crash, shard-loss, link, brownout, poisson, report)"
+        ),
     )
     serve_parser.add_argument(
         "--profile",

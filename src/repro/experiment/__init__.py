@@ -24,6 +24,7 @@ from repro.experiment.serving import (
     ServingExperimentResult,
     ServingKey,
     autoscale_grid,
+    chaos_grid,
     check_elastic_support,
     check_sharding_support,
     check_workload_support,
@@ -46,6 +47,7 @@ __all__ = [
     "ShardingKey",
     "VariantSweep",
     "autoscale_grid",
+    "chaos_grid",
     "check_elastic_support",
     "check_sharding_support",
     "check_workload_support",

@@ -465,6 +465,59 @@ class Experiment:
             seed=seed,
         )
 
+    def chaos(
+        self,
+        faults,
+        policy=None,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        initial_replicas: Optional[int] = None,
+        control_interval_s: float = 10e-3,
+        warmup_s: Optional[float] = None,
+        idle_power_w: float = 0.0,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        batching=None,
+        dispatcher=None,
+        seed: int = 0,
+    ):
+        """Run the serving grid under a deterministic fault schedule.
+
+        Like :meth:`autoscale` but every (backend, workload) fleet has
+        ``faults`` — a :class:`~repro.chaos.faults.FaultSchedule` or a
+        compact spec string like ``"crash:at=0.1,restart=0.05"`` — injected
+        into the run, so each report carries an
+        :class:`~repro.chaos.report.IncidentReport` measuring SLA
+        attainment through the incidents and the time-to-recover.
+        ``policy=None`` perturbs a static fleet; with a policy the
+        autoscaler and the faults compose.  Requires :meth:`workloads`.
+        """
+        if not self._workloads:
+            raise SimulationError(
+                "no workloads selected; call .workloads(...) before .chaos()"
+            )
+        from repro.experiment.serving import chaos_grid
+
+        return chaos_grid(
+            self.system,
+            self.backend_names,
+            self._workloads,
+            self._models,
+            faults,
+            policy=policy,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            initial_replicas=initial_replicas,
+            control_interval_s=control_interval_s,
+            warmup_s=warmup_s,
+            idle_power_w=idle_power_w,
+            duration_s=duration_s,
+            num_requests=num_requests,
+            batching=batching,
+            dispatcher=dispatcher,
+            seed=seed,
+        )
+
     def shard(
         self,
         shard_counts=(1, 2, 4),

@@ -206,6 +206,7 @@ def _run_serving_grid(
     duration_s: Optional[float],
     num_requests: Optional[int],
     seed: int,
+    serve_kwargs: Optional[Dict] = None,
 ) -> ServingExperimentResult:
     """The shared backends x workloads fan-out both grid flavours run.
 
@@ -246,6 +247,7 @@ def _run_serving_grid(
                     duration_s=duration_s,
                     num_requests=num_requests,
                     seed=seed,
+                    **(serve_kwargs or {}),
                 )
                 outcome.add(backend_name, workload.name, report.model_name, report)
     return outcome
@@ -312,6 +314,86 @@ def autoscale_grid(
         duration_s,
         num_requests,
         seed,
+    )
+
+
+def chaos_grid(
+    system: SystemConfig,
+    backend_names: Sequence[str],
+    workloads: Sequence[Workload],
+    models: Sequence[DLRMConfig],
+    faults,
+    policy=None,
+    min_replicas: int = 1,
+    max_replicas: int = 8,
+    initial_replicas: Optional[int] = None,
+    control_interval_s: float = 10e-3,
+    warmup_s: Optional[float] = None,
+    idle_power_w: float = 0.0,
+    duration_s: Optional[float] = None,
+    num_requests: Optional[int] = None,
+    batching: Optional[BatchingPolicy] = None,
+    dispatcher: Optional[Dispatcher] = None,
+    seed: int = 0,
+) -> ServingExperimentResult:
+    """Evaluate a backends x workloads grid under a fault schedule.
+
+    Mirrors :func:`autoscale_grid` with a
+    :class:`~repro.chaos.faults.FaultSchedule` (or compact ``crash:at=...``
+    spec string) injected into every fleet, so each point's
+    :class:`~repro.serving.cluster.ClusterReport` carries an
+    :class:`~repro.chaos.report.IncidentReport` — SLA attainment through
+    each incident and the time-to-recover per (backend, workload) cell.
+    ``policy=None`` serves a static fleet of ``initial_replicas`` (default
+    ``min_replicas``) that only the fault schedule perturbs; with a policy
+    the autoscaler and the faults compose (crash during cooldown, restart
+    racing a scale-up).  Elastic-scaling support is required either way:
+    restarting a crashed replica is a provisioning act.
+    """
+    from repro.chaos.faults import FaultSchedule, parse_fault_schedule
+    from repro.serving.autoscale import AutoscalingCluster
+
+    if isinstance(faults, str):
+        faults = parse_fault_schedule(faults)
+    if faults is not None and not isinstance(faults, FaultSchedule):
+        raise ConfigurationError(
+            f"faults must be a FaultSchedule or spec string, got {faults!r}"
+        )
+    for backend_name in backend_names:
+        check_elastic_support(backend_name)
+        for workload in workloads:
+            check_workload_support(backend_name, workload)
+
+    def make_simulator(backend_name, backend, model):
+        backend_warmup = (
+            warmup_s
+            if warmup_s is not None
+            else backend_registration(backend_name).capabilities.provision_warmup_s
+        )
+        return AutoscalingCluster(
+            backend,
+            model,
+            policy=policy,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            initial_replicas=initial_replicas,
+            control_interval_s=control_interval_s,
+            warmup_s=backend_warmup,
+            idle_power_w=idle_power_w,
+            batching=batching,
+            dispatcher=dispatcher,
+        )
+
+    return _run_serving_grid(
+        system,
+        backend_names,
+        workloads,
+        models,
+        make_simulator,
+        duration_s,
+        num_requests,
+        seed,
+        serve_kwargs={"faults": faults},
     )
 
 

@@ -43,8 +43,11 @@ bit-identical to it — autoscaling is strictly opt-in.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.chaos.faults import FaultSchedule
 
 from repro.config.models import DLRMConfig
 from repro.config.system import SystemConfig
@@ -507,9 +510,16 @@ class AutoscalingCluster(HeterogeneousCluster):
         requests,
         extra_models: Sequence[DLRMConfig] = (),
         report_label: Optional[str] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> ClusterReport:
-        """Serve a stream; elastic when a policy is set, static otherwise."""
-        if self.policy is None:
+        """Serve a stream; elastic when a policy is set, static otherwise.
+
+        ``faults`` injects a :class:`~repro.chaos.faults.FaultSchedule`
+        into the run; an empty (or ``None``) schedule takes the fault-free
+        code paths verbatim, bit-identically.
+        """
+        chaos = faults is not None and not faults.empty
+        if self.policy is None and not chaos:
             static = HeterogeneousCluster(
                 self.specs[: self.initial_replicas],
                 self.model,
@@ -537,17 +547,53 @@ class AutoscalingCluster(HeterogeneousCluster):
         sim = Simulator(queue=self.queue, profile=self.profile)
         replicas = self._build_replicas(sim, extra_models=extra_models)
         self.dispatcher.reset()
-        self.policy.reset()
+        if self.policy is not None:
+            self.policy.reset()
         controller = _AutoscaleController(self, sim, replicas)
         stream = _CountingStream(iterator)
         controller.stream = stream
 
-        outcome = drive_stream(sim, replicas, stream, controller.route)
+        injector = None
+        if chaos:
+            # Imported lazily: repro.chaos depends on this module's report
+            # types, so the top-level import would be circular.
+            from repro.chaos.injector import FaultInjector
+
+            injector = FaultInjector(sim, faults, controller=controller)
+            injector.arm()
+            outcome = drive_stream(
+                sim, replicas, stream, controller.route, lost=injector.shed_count
+            )
+        else:
+            outcome = drive_stream(sim, replicas, stream, controller.route)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
         self.last_profile = sim.profile
         self.last_outcome = outcome
-        return controller.build_report(report_label or self.model.name)
+        report = controller.build_report(report_label or self.model.name)
+        if injector is not None:
+            incidents = injector.finalize(report.per_replica, horizon_s=sim.now)
+            report = replace(report, incidents=incidents)
+        return report
+
+    def serve_workload(
+        self,
+        workload,
+        duration_s: Optional[float] = None,
+        num_requests: Optional[int] = None,
+        seed: int = 0,
+        faults: Optional["FaultSchedule"] = None,
+    ) -> ClusterReport:
+        """Serve a workload stream, optionally under a fault schedule."""
+        label = workload.mix.label if workload.mix is not None else None
+        return self.serve(
+            workload.requests(
+                duration_s=duration_s, num_requests=num_requests, seed=seed
+            ),
+            extra_models=workload.models,
+            report_label=label,
+            faults=faults,
+        )
 
 
 class _AutoscaleController:
@@ -571,12 +617,21 @@ class _AutoscaleController:
         self.timeline: List[Tuple[float, int]] = [(0.0, cluster.initial_replicas)]
         self.scale_up_events = 0
         self.scale_down_events = 0
+        self.crash_events = 0
+        self.restart_events = 0
+        self._shed_sink = None
         self._arrivals_at_last_tick = 0
         self._busy_at_last_tick = 0.0
-        self._capacity_qps = cluster._replica_capacity_qps()
-        sim.schedule_at(
-            cluster.control_interval_s, self._on_tick, label="autoscale:tick"
-        )
+        if cluster.policy is not None:
+            self._capacity_qps = cluster._replica_capacity_qps()
+            sim.schedule_at(
+                cluster.control_interval_s, self._on_tick, label="autoscale:tick"
+            )
+        else:
+            # Chaos on a static fleet: the controller only tracks lifecycle
+            # state for crash/restore hooks — no policy, no control ticks,
+            # and no capacity sweep to pay for.
+            self._capacity_qps = 0.0
 
     # -- routing -------------------------------------------------------
     def _active_indices(self) -> List[int]:
@@ -589,11 +644,95 @@ class _AutoscaleController:
     def route(self, request: InferenceRequest) -> ReplicaServer:
         active = self._active_indices()
         if not active:
+            if self._shed_sink is not None:
+                # Total outage under fault injection: arrivals are shed
+                # (counted, never completed) instead of crashing the run.
+                return self._shed_sink
             raise SimulationError(
                 "autoscaling left no active replica to route to (controller bug)"
             )
         routable = [self.replicas[index] for index in active]
         return self.cluster._dispatch(routable, request, self.sim.now)
+
+    # -- fault-injection hooks -----------------------------------------
+    def install_shed_sink(self, sink) -> None:
+        """Arm the total-outage sink (chaos runs only)."""
+        self._shed_sink = sink
+
+    def highest_active_index(self) -> Optional[int]:
+        """Default crash/brownout target: mirrors the scale-down order."""
+        active = self._active_indices()
+        return active[-1] if active else None
+
+    def commissioned_seconds(self, now: float) -> float:
+        """Replica-seconds billed up to ``now`` (incident cost snapshots)."""
+        return sum(
+            lifecycle.commissioned_seconds(now) for lifecycle in self.lifecycles
+        )
+
+    def crash_replica(
+        self, index: int, on_inflight: str
+    ) -> Tuple[Optional[str], int, int]:
+        """Kill one pool slot immediately (no drain).
+
+        Returns ``(state_before, redispatched, shed)``; ``state_before`` is
+        ``None`` when the slot was already stopped (the crash is a no-op).
+        A warming replica dies before serving, so it has nothing in flight;
+        an active or draining replica's salvaged requests are re-dispatched
+        to the surviving fleet or shed, per ``on_inflight``.
+        """
+        now = self.sim.now
+        lifecycle = self.lifecycles[index]
+        state = lifecycle.state
+        if state == _STOPPED:
+            return None, 0, 0
+        if state == _STARTING:
+            if lifecycle.activation_event is not None:
+                lifecycle.activation_event.cancel()
+                lifecycle.activation_event = None
+            lifecycle.stop(now)
+            self.crash_events += 1
+            self._record_timeline(now)
+            return state, 0, 0
+        replica = self.replicas[index]
+        queued, executing = replica.crash()
+        lifecycle.stop(now)
+        self.crash_events += 1
+        salvaged = executing + queued
+        redispatched = 0
+        shed = 0
+        if salvaged:
+            if on_inflight == "redispatch" and self._active_indices():
+                # Original arrival times are preserved, so the crash delay
+                # shows up in the re-dispatched requests' latencies.
+                for request in salvaged:
+                    self.route(request).submit(request)
+                redispatched = len(salvaged)
+            else:
+                shed = len(salvaged)
+        self._record_timeline(now)
+        return state, redispatched, shed
+
+    def restore_replica(self, index: int, warmup_s: float) -> bool:
+        """Recommission a crashed slot; False when the autoscaler already
+        reclaimed it (service was restored through the scaling path)."""
+        lifecycle = self.lifecycles[index]
+        if lifecycle.state != _STOPPED:
+            return False
+        now = self.sim.now
+        lifecycle.commission(now)
+        self.restart_events += 1
+        if warmup_s <= 0.0:
+            lifecycle.state = _ACTIVE
+        else:
+            lifecycle.state = _STARTING
+            lifecycle.activation_event = self.sim.schedule_at(
+                now + warmup_s,
+                lambda i=index: self._on_warm(i),
+                label="autoscale:warm",
+            )
+        self._record_timeline(now)
+        return True
 
     # -- control loop --------------------------------------------------
     def _observe(self) -> ClusterObservation:
@@ -781,8 +920,9 @@ class _AutoscaleController:
             replica_seconds - busy_seconds, 0.0
         )
         reports, latency = self.cluster._collect_reports(self.replicas, label)
+        policy = self.cluster.policy
         autoscale = AutoscaleReport(
-            policy=self.cluster.policy.name,
+            policy=policy.name if policy is not None else "static",
             control_interval_s=self.cluster.control_interval_s,
             warmup_s=self.cluster.warmup_s,
             timeline=tuple(self.timeline),
@@ -792,6 +932,8 @@ class _AutoscaleController:
             scale_down_events=self.scale_down_events,
             busy_energy_joules=busy_energy,
             idle_energy_joules=idle_energy,
+            crashes=self.crash_events,
+            restarts=self.restart_events,
         )
         return ClusterReport(
             design_point=self.cluster.design_point,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.chaos.report import IncidentReport
     from repro.serving.sharded import ShardingStats
 
 from repro.backends.registry import resolve_backend
@@ -79,6 +80,8 @@ class AutoscaleReport:
         busy_energy_joules: Energy the devices spent executing batches.
         idle_energy_joules: Energy charged for commissioned-but-idle time
             (``idle_power_w`` times the non-busy replica-seconds).
+        crashes: Replica crashes injected by a fault schedule.
+        restarts: Crash restarts that recommissioned a replica.
     """
 
     policy: str
@@ -91,6 +94,8 @@ class AutoscaleReport:
     scale_down_events: int
     busy_energy_joules: float
     idle_energy_joules: float
+    crashes: int = 0
+    restarts: int = 0
 
     @property
     def total_energy_joules(self) -> float:
@@ -119,6 +124,8 @@ class ClusterReport:
     autoscale: Optional[AutoscaleReport] = None
     #: Shard/cache accounting of a sharded group run (``None`` otherwise).
     sharding: Optional["ShardingStats"] = None
+    #: Resilience accounting of a chaos-injected run (``None`` otherwise).
+    incidents: Optional["IncidentReport"] = None
 
     @property
     def completed_requests(self) -> int:

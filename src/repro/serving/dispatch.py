@@ -9,7 +9,7 @@ randomness from a seed and is reset before every stream.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,8 +40,13 @@ class RoundRobinDispatcher(Dispatcher):
     not a monotonic counter: when an elastic fleet grows or shrinks
     mid-stream the dispatcher simply continues with the replica after the
     one it served last, so no replica is skipped or double-hit by a modulus
-    change.  If the last-served replica itself left the fleet, the rotation
-    resumes at the slot it used to occupy (whose successor now holds it).
+    change.  If the last-served replica itself left the fleet, the
+    dispatcher walks its *remembered* rotation forward from the vanished
+    anchor and resumes at the first remembered successor still present —
+    drains only ever remove a suffix of the active list, for which this
+    degrades to "the slot the anchor occupied", but a crash can take the
+    anchor *and* replicas before it in one step, where the old slot
+    heuristic restarted the rotation at the wrong replica.
     """
 
     name = "round-robin"
@@ -49,10 +54,27 @@ class RoundRobinDispatcher(Dispatcher):
     def __init__(self) -> None:
         self._last: Optional[ReplicaServer] = None
         self._last_index = 0
+        self._order: Tuple[ReplicaServer, ...] = ()
 
     def reset(self) -> None:
         self._last = None
         self._last_index = 0
+        self._order = ()
+
+    def _resume_after_anchor_lost(self, replicas) -> int:
+        order = self._order
+        size = len(order)
+        # The anchor's position in the remembered order is the index it was
+        # served at; walk forward (wrapping) to its nearest remembered
+        # successor that survived into the current fleet.
+        for step in range(1, size + 1):
+            candidate = order[(self._last_index + step) % size]
+            for position, replica in enumerate(replicas):
+                if replica is candidate:
+                    return position
+        # Nothing remembered survived (fleet fully replaced): restart at
+        # the anchor's old slot if it still exists, else wrap.
+        return self._last_index if self._last_index < len(replicas) else 0
 
     def select(self, replicas, request, now):
         if self._last is None:
@@ -70,15 +92,10 @@ class RoundRobinDispatcher(Dispatcher):
                     index = (position + 1) % len(replicas)
                     break
             else:
-                # Last-served replica was drained: its old slot now holds
-                # the replica that was next in rotation; if the slot itself
-                # is gone (trailing replicas drained together), the
-                # rotation has passed the end of the list and wraps.
-                index = (
-                    self._last_index if self._last_index < len(replicas) else 0
-                )
+                index = self._resume_after_anchor_lost(replicas)
         self._last = replicas[index]
         self._last_index = index
+        self._order = tuple(replicas)
         return index
 
 

@@ -120,9 +120,10 @@ class ServiceModel:
 
 
 #: One device occupancy: when it starts, when it ends, and the arrival
-#: times of the requests it serves.  Request objects themselves are dropped
-#: at batch start — completion accounting only needs the arrival times, so
-#: in-flight requests become collectable a batch-execution earlier.
+#: times of the requests it serves.  Completion accounting only needs the
+#: arrival times; the executing batch's request objects are kept on the
+#: replica (``_executing``) so a chaos crash can salvage them, and are
+#: released when the batch completes.
 _Segment = Tuple[float, float, List[float]]
 
 #: Below this segment size the scalar completion loop beats numpy's
@@ -194,6 +195,17 @@ class ReplicaServer:
         #: Invoked with the completed-request count of each finished batch;
         #: installed by :func:`drive_stream` to track global conservation.
         self.completion_listener: Optional[Callable[[int], None]] = None
+        #: Multiplies every executed segment's duration (chaos brownouts
+        #: inflate it above 1.0; the fault-free value of exactly 1.0 skips
+        #: the multiply so untouched runs stay bit-identical).
+        self.latency_multiplier = 1.0
+        # In-flight execution state a chaos crash() needs to roll back:
+        # the scheduled completion event and one tuple of (start, finish,
+        # previous last_finish_s, busy/energy deltas, segment count, batch).
+        self._completion_event: Optional[Event] = None
+        self._executing: Optional[
+            Tuple[float, float, float, float, float, int, List[InferenceRequest]]
+        ] = None
 
     # -- live state inspected by dispatchers ---------------------------
     @property
@@ -344,6 +356,9 @@ class ReplicaServer:
         start = self.sim.now
         segments: List[_Segment] = []
         clock = start
+        previous_finish = self.last_finish_s
+        busy_delta = 0.0
+        energy_delta = 0.0
         if not self.service.multi_model:
             segmented = [(batch, None, times)]
         else:
@@ -355,9 +370,14 @@ class ReplicaServer:
             result = self._execute_result(
                 self.batching.execution_batch_size(len(group)), model_name
             )
+            duration = result.latency_seconds
+            if self.latency_multiplier != 1.0:
+                duration *= self.latency_multiplier
             seg_start = clock
-            clock = seg_start + result.latency_seconds
-            self.busy_time_s += result.latency_seconds
+            clock = seg_start + duration
+            busy_delta += duration
+            energy_delta += result.energy_joules
+            self.busy_time_s += duration
             self.energy_joules += result.energy_joules
             self.batch_count += 1
             self.batch_size_sum += len(group)
@@ -377,13 +397,74 @@ class ReplicaServer:
         self._busy = True
         self._in_flight = len(batch)
         self.device_free_at = finish
-        self.sim.schedule_at(
+        self._executing = (
+            start,
+            finish,
+            previous_finish,
+            busy_delta,
+            energy_delta,
+            len(segmented),
+            batch,
+        )
+        self._completion_event = self.sim.schedule_at(
             finish,
             lambda segs=segments: self._on_complete(segs),
             label=f"{self.name}:complete",
         )
 
+    def crash(self) -> Tuple[List[InferenceRequest], List[InferenceRequest]]:
+        """Chaos hook: kill the device mid-flight at the current sim time.
+
+        Cancels any batch-close timer and the in-flight completion event,
+        rolls the executing batch's accounting back to the crash instant
+        (the device is charged the busy time and energy it actually burned
+        before dying, but completes nothing), removes every in-flight
+        request from this replica's counters, and returns them as
+        ``(queued, executing)`` lists for the caller to re-dispatch or
+        shed.  Afterwards the replica is clean: idle, empty queues, and
+        per-replica conservation (``completed == arrivals``) still holds.
+        """
+        now = self.sim.now
+        queued: List[InferenceRequest] = []
+        if self._close_timer is not None:
+            self._close_timer.cancel()
+            self._close_timer = None
+        if self._pending:
+            queued.extend(self._pending)
+            self._pending = []
+            self._pending_times = []
+        for _, batch, _ in self._batch_queue:
+            queued.extend(batch)
+        self._batch_queue.clear()
+        executing: List[InferenceRequest] = []
+        if self._busy:
+            start, finish, previous_finish, busy_delta, energy_delta, seg_count, batch = (
+                self._executing
+            )
+            executing.extend(batch)
+            self._completion_event.cancel()
+            span = finish - start
+            burned = min(max(now - start, 0.0), span) / span if span > 0.0 else 1.0
+            self.busy_time_s -= busy_delta * (1.0 - burned)
+            self.energy_joules -= energy_delta * (1.0 - burned)
+            self.batch_count -= seg_count
+            self.batch_size_sum -= len(batch)
+            if self.record_latency_samples:
+                del self.executed[len(self.executed) - seg_count :]
+            self.last_finish_s = previous_finish
+            self._busy = False
+            self._in_flight = 0
+            self.device_free_at = now
+        self._completion_event = None
+        self._executing = None
+        removed = len(queued) + len(executing)
+        self.arrival_count -= removed
+        self._outstanding -= removed
+        return queued, executing
+
     def _on_complete(self, segments: List[_Segment]) -> None:
+        self._completion_event = None
+        self._executing = None
         completed = 0
         record = self.record_latency_samples
         for seg_start, seg_finish, times in segments:
@@ -478,11 +559,16 @@ class StreamOutcome:
             not yet completed) at any instant — the memory high-water mark
             of the streaming run, bounded by the in-flight work plus the
             single look-ahead arrival the driver keeps scheduled.
+        shed: Requests dropped by chaos fault injection (crashed replicas
+            whose in-flight work was not re-dispatched, or arrivals during
+            a total outage).  Zero on every fault-free run; conservation
+            holds as ``scheduled == completed + shed``.
     """
 
     scheduled: int
     completed: int
     peak_resident: int
+    shed: int = 0
 
 
 #: Arrivals pulled from the stream per refill: amortizes the generator
@@ -513,10 +599,12 @@ class _StreamDriver:
         sim: Simulator,
         iterator: Iterator[InferenceRequest],
         route: Callable[[InferenceRequest], "ReplicaServer"],
+        lost: Optional[Callable[[], int]] = None,
     ):
         self.sim = sim
         self.iterator = iterator
         self.route = route
+        self.lost = lost
         self.scheduled = 0
         self.completed = 0
         self.peak_resident = 0
@@ -565,6 +653,8 @@ class _StreamDriver:
         self.pump()
         self.route(request).submit(request)
         resident = self.scheduled - self.completed
+        if self.lost is not None:
+            resident -= self.lost()
         if resident > self.peak_resident:
             self.peak_resident = resident
 
@@ -574,6 +664,7 @@ def drive_stream(
     replicas: Sequence[ReplicaServer],
     requests: Union[Sequence[InferenceRequest], Iterable[InferenceRequest]],
     route: Callable[[InferenceRequest], ReplicaServer],
+    lost: Optional[Callable[[], int]] = None,
 ) -> StreamOutcome:
     """Drive a request stream through the fleet and run to completion.
 
@@ -589,12 +680,16 @@ def drive_stream(
             time-ordered iterator (e.g. ``Workload.requests(...)``).
         route: Callable ``(request) -> ReplicaServer`` evaluated *at arrival
             time*, so routing sees live queue state.
+        lost: Optional zero-argument callable returning the number of
+            requests chaos fault injection has shed so far.  When given,
+            conservation relaxes to ``scheduled == completed + lost()``;
+            without it (every fault-free run) the strict identity holds.
     """
     if isinstance(requests, Sequence):
         iterator = iter(sorted(requests, key=lambda request: request.arrival_time_s))
     else:
         iterator = iter(requests)
-    driver = _StreamDriver(sim, iterator, route)
+    driver = _StreamDriver(sim, iterator, route, lost=lost)
     previous_listeners = [replica.completion_listener for replica in replicas]
     for replica in replicas:
         replica.completion_listener = driver.note_completion
@@ -617,13 +712,15 @@ def drive_stream(
     finally:
         for replica, listener in zip(replicas, previous_listeners):
             replica.completion_listener = listener
-    if driver.completed != driver.scheduled:
+    shed = lost() if lost is not None else 0
+    if driver.completed + shed != driver.scheduled:
         raise SimulationError(
             f"request conservation violated: {driver.scheduled} arrived, "
-            f"{driver.completed} served"
+            f"{driver.completed} served, {shed} shed"
         )
     return StreamOutcome(
         scheduled=driver.scheduled,
         completed=driver.completed,
         peak_resident=driver.peak_resident,
+        shed=shed,
     )

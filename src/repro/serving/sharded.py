@@ -28,8 +28,20 @@ to the unsharded cluster path — the property the equivalence tests pin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.chaos.faults import FaultSchedule
 
 import numpy as np
 
@@ -98,6 +110,11 @@ class ShardingStats:
     gather_s_total: float
     batches: int
     total_lookups: int
+    #: Lookups served by the *wrong* shard under re-hash failover — the
+    #: run's correctness loss (0 without shard faults).
+    degraded_lookups: int = 0
+    #: Lookups served by the replica copy under promote failover.
+    promoted_lookups: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -166,6 +183,80 @@ class ShardedReplicaServer(ReplicaServer):
         self.trace_rng = trace_rng
         self.caches = caches
         self.accounting = _ShardingAccounting(plan.num_shards)
+        # Fault-injection state (all inert on fault-free runs).
+        self._lost_shards: Dict[int, str] = {}
+        self._link_slowdown = 1.0
+        self.degraded_lookups = 0
+        self.promoted_lookups = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (driven by repro.chaos.FaultInjector)
+    # ------------------------------------------------------------------
+    def lose_shard(self, shard: int, failover: str) -> bool:
+        """Take one shard offline; False when it is already lost.
+
+        While lost, lookups the plan routes to the shard fail over per
+        ``failover``: ``"promote"`` sends them to the surviving shard
+        holding the replica copy (the next live shard, wrapping);
+        ``"rehash"`` spreads them over all survivors by row id, serving
+        *wrong* rows — counted as degraded lookups (correctness loss).
+        """
+        if shard in self._lost_shards:
+            return False
+        if len(self._lost_shards) + 1 >= self.plan.num_shards:
+            raise SimulationError(
+                f"cannot lose shard {shard}: it is the group's last "
+                "surviving shard"
+            )
+        self._lost_shards[shard] = failover
+        return True
+
+    def restore_shard(
+        self, shard: int, fresh_cache: Optional[EmbeddingCache] = None
+    ) -> bool:
+        """Bring a lost shard back, with a cold hot-row cache when given.
+
+        The fresh cache inherits the old one's hit/miss counters so the
+        run's cache statistics stay continuous; only the *contents* are
+        lost to the restart.
+        """
+        if shard not in self._lost_shards:
+            return False
+        del self._lost_shards[shard]
+        if fresh_cache is not None and self.caches is not None:
+            cold = self.caches[shard]
+            fresh_cache.stats = cold.stats
+            fresh_cache.evictions = cold.evictions
+            self.caches[shard] = fresh_cache
+        return True
+
+    def set_link_slowdown(self, factor: float) -> None:
+        """Scale cross-shard transfer time (link degradation window)."""
+        self._link_slowdown = factor
+
+    def _remap_owners(self, owners: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Re-route lookups owned by lost shards to survivors."""
+        owners = owners.copy()
+        num_shards = self.plan.num_shards
+        survivors = np.array(
+            [s for s in range(num_shards) if s not in self._lost_shards],
+            dtype=owners.dtype,
+        )
+        for shard, failover in self._lost_shards.items():
+            mask = owners == shard
+            count = int(np.count_nonzero(mask))
+            if count == 0:
+                continue
+            if failover == "promote":
+                # The replica copy lives on the next surviving shard
+                # (wrapping), so the whole slice moves there.
+                position = int(np.searchsorted(survivors, shard))
+                owners[mask] = survivors[position % survivors.size]
+                self.promoted_lookups += count
+            else:
+                owners[mask] = survivors[rows[mask] % survivors.size]
+                self.degraded_lookups += count
+        return owners
 
     # ------------------------------------------------------------------
     def _execute_result(self, batch_size: int, model_name) -> InferenceResult:
@@ -201,16 +292,24 @@ class ShardedReplicaServer(ReplicaServer):
                 self.trace_rng, table.num_rows, count, table_index
             )
             owners = plan.owner_of(table_index, rows)
+            if self._lost_shards:
+                owners = self._remap_owners(owners, rows)
             counts = np.bincount(owners, minlength=num_shards)
             owned += counts
+            contributed_tables += counts > 0
+            if self.caches is None:
+                gathered += counts
+                continue
+            # One stable argsort groups each shard's rows contiguously in
+            # their original draw order, so every cache sees the identical
+            # reference stream the per-shard masking loop produced.
+            order = np.argsort(owners, kind="stable")
+            sorted_rows = rows[order]
+            ends = np.cumsum(counts)
             for shard in np.nonzero(counts)[0]:
-                contributed_tables[shard] += 1
-                shard_rows = rows[owners == shard]
-                if self.caches is not None:
-                    hits = self.caches[shard].lookup(table_index, shard_rows)
-                    gathered[shard] += len(shard_rows) - int(hits.sum())
-                else:
-                    gathered[shard] += len(shard_rows)
+                shard_rows = sorted_rows[ends[shard] - counts[shard] : ends[shard]]
+                hits = self.caches[shard].lookup(table_index, shard_rows)
+                gathered[shard] += len(shard_rows) - int(hits.sum())
 
         total_lookups = int(owned.sum())
         emb_s = base.breakdown.get("EMB")
@@ -232,6 +331,8 @@ class ShardedReplicaServer(ReplicaServer):
                 transfer_bytes = batch_size * int(contributed_tables[shard]) * row_bytes
                 estimate = self.link.bulk_transfer(transfer_bytes)
                 transfer_s = estimate.latency_s
+                if self._link_slowdown != 1.0:
+                    transfer_s *= self._link_slowdown
                 accounting.cross_shard_bytes += transfer_bytes
                 accounting.cross_shard_transfer_s += transfer_s
             straggler_s = max(straggler_s, gather_s + transfer_s)
@@ -288,6 +389,8 @@ class ShardedReplicaServer(ReplicaServer):
             gather_s_total=accounting.gather_s_total,
             batches=accounting.batches,
             total_lookups=int(accounting.owned.sum()),
+            degraded_lookups=self.degraded_lookups,
+            promoted_lookups=self.promoted_lookups,
         )
 
 
@@ -382,15 +485,20 @@ class ShardedReplicaGroup:
         trace: Optional[TraceModel] = None,
         trace_seed: Union[int, np.random.SeedSequence] = 0,
         report_label: Optional[str] = None,
+        faults: Optional["FaultSchedule"] = None,
     ) -> ClusterReport:
         """Serve a request stream through the shard group.
 
         ``trace`` shapes the row IDs every batch gathers (uniform by
         default); ``trace_seed`` seeds the draw stream.  Prefer
         :meth:`serve_workload`, which wires both from the workload.
+        ``faults`` injects a :class:`~repro.chaos.faults.FaultSchedule`
+        (shard loss, link degradation, brownout); an empty or ``None``
+        schedule takes the fault-free path verbatim.
         """
         if isinstance(requests, Sequence) and not requests:
             raise SimulationError("cannot serve an empty request stream")
+        chaos = faults is not None and not faults.empty
         sim = Simulator(queue=self.queue, profile=self.profile)
         service = ServiceModel(self.runner, self.model, self._service_cache)
         caches = None
@@ -411,7 +519,29 @@ class ShardedReplicaGroup:
             caches=caches,
             name=f"{self.runner.design_point}:0",
         )
-        outcome = drive_stream(sim, [replica], requests, lambda request: replica)
+        injector = None
+        if chaos:
+            # Imported lazily: repro.chaos depends on this module's report
+            # types, so the top-level import would be circular.
+            from repro.chaos.injector import FaultInjector
+
+            injector = FaultInjector(
+                sim,
+                faults,
+                sharded=replica,
+                cache_config=self.cache_config,
+                model=self.model,
+            )
+            injector.arm()
+            outcome = drive_stream(
+                sim,
+                [replica],
+                requests,
+                lambda request: replica,
+                lost=injector.shed_count,
+            )
+        else:
+            outcome = drive_stream(sim, [replica], requests, lambda request: replica)
         if outcome.scheduled == 0:
             raise SimulationError("cannot serve an empty request stream")
         self.last_profile = sim.profile
@@ -419,7 +549,7 @@ class ShardedReplicaGroup:
 
         label = report_label or self.model.name
         report = replica.build_report(label)
-        return ClusterReport(
+        cluster_report = ClusterReport(
             design_point=self.design_point,
             model_name=label,
             num_replicas=self.plan.num_shards,
@@ -428,6 +558,10 @@ class ShardedReplicaGroup:
             dispatcher="shard-fan-out",
             sharding=replica.sharding_stats(),
         )
+        if injector is not None:
+            incidents = injector.finalize([report], horizon_s=sim.now)
+            cluster_report = replace(cluster_report, incidents=incidents)
+        return cluster_report
 
     def serve_workload(
         self,
@@ -435,6 +569,7 @@ class ShardedReplicaGroup:
         duration_s: Optional[float] = None,
         num_requests: Optional[int] = None,
         seed: int = 0,
+        faults: Optional["FaultSchedule"] = None,
     ) -> ClusterReport:
         """Serve a workload: its arrivals drive the queue, its trace model
         shapes every batch's gathered rows (the path where zipf / hot-cold
@@ -460,4 +595,5 @@ class ShardedReplicaGroup:
             ),
             trace=workload.trace,
             trace_seed=trace_seed,
+            faults=faults,
         )

@@ -56,11 +56,14 @@ from repro.workloads.workload import (
 )
 from repro.workloads.catalog import (
     ARRIVAL_CATALOG,
+    SCENARIO_CATALOG,
     TRACE_CATALOG,
     CatalogEntry,
+    ChaosScenario,
     parse_arrival_spec,
     parse_trace_spec,
     parse_workload_spec,
+    resolve_fault_spec,
 )
 
 __all__ = [
@@ -96,9 +99,12 @@ __all__ = [
     "TAG_MULTI_MODEL",
     "TAG_SKEWED_TRACE",
     "CatalogEntry",
+    "ChaosScenario",
     "ARRIVAL_CATALOG",
+    "SCENARIO_CATALOG",
     "TRACE_CATALOG",
     "parse_arrival_spec",
     "parse_trace_spec",
     "parse_workload_spec",
+    "resolve_fault_spec",
 ]

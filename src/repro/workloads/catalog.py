@@ -234,3 +234,73 @@ def parse_workload_spec(spec: str, trace_spec: str = "uniform") -> Workload:
         arrivals=parse_arrival_spec(spec),
         trace=parse_trace_spec(trace_spec),
     )
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named fault drill: a fault schedule plus the traffic it assumes.
+
+    Scenarios store *spec strings*, not built objects: the fault grammar
+    lives in :mod:`repro.chaos` and is parsed lazily, so the workload
+    catalog stays import-light and the scenario text doubles as the exact
+    ``--faults`` spec a user could have typed by hand.
+    """
+
+    name: str
+    summary: str
+    fault_spec: str
+    arrival_spec: str
+    trace_spec: str = "uniform"
+
+    def schedule(self):
+        """Parse :attr:`fault_spec` into a ``FaultSchedule``."""
+        from repro.chaos.faults import parse_fault_schedule
+
+        return parse_fault_schedule(self.fault_spec)
+
+    def workload(self) -> Workload:
+        """Build the scenario's assumed traffic."""
+        return parse_workload_spec(self.arrival_spec, self.trace_spec)
+
+
+SCENARIO_CATALOG: Dict[str, ChaosScenario] = {
+    "region-failover": ChaosScenario(
+        name="region-failover",
+        summary=(
+            "two replicas die at once (a rack/region partition) and restart "
+            "after a cold outage window; survivors absorb the re-dispatch"
+        ),
+        fault_spec=(
+            "crash:at=0.06,restart=0.05;"
+            "crash:at=0.06,restart=0.05;"
+            "report:sla=0.005"
+        ),
+        arrival_spec="poisson:20000",
+    ),
+    "cascading-brownout": ChaosScenario(
+        name="cascading-brownout",
+        summary=(
+            "thermal throttling marches across the fleet as overlapping "
+            "brownouts, then the hottest replica crashes outright"
+        ),
+        fault_spec=(
+            "brownout:at=0.03,for=0.06,replica=0,slow=3;"
+            "brownout:at=0.06,for=0.06,replica=1,slow=3;"
+            "crash:at=0.1,restart=0.04;"
+            "report:sla=0.005"
+        ),
+        arrival_spec="bursty:on=30000,off=5000,mean_on=0.05,mean_off=0.05",
+    ),
+}
+
+
+def resolve_fault_spec(spec: str):
+    """Resolve ``--faults`` text: a scenario name or a raw fault spec.
+
+    Returns the parsed ``FaultSchedule`` (or ``None`` for ``off``/``none``).
+    """
+    if spec is not None and spec.strip().lower() in SCENARIO_CATALOG:
+        return SCENARIO_CATALOG[spec.strip().lower()].schedule()
+    from repro.chaos.faults import parse_fault_schedule
+
+    return parse_fault_schedule(spec)

@@ -1,0 +1,158 @@
+"""Fault injection on sharded groups: shard loss, failover, link windows."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.chaos import (
+    Brownout,
+    FaultSchedule,
+    LinkDegradation,
+    ReplicaCrash,
+    ShardLoss,
+)
+from repro.config import DLRM2, HARPV2_SYSTEM
+from repro.errors import ConfigurationError, SimulationError
+from repro.serving import TimeoutBatching
+from repro.serving.sharded import ShardedReplicaGroup
+from repro.sharding import parse_cache_spec
+from repro.workloads import PoissonArrivals, Workload
+
+BATCHING = TimeoutBatching(window_s=1e-3, max_batch_size=32)
+WORKLOAD = Workload(arrivals=PoissonArrivals(rate_qps=20_000.0), name="steady")
+NUM_REQUESTS = 800
+SEED = 4
+
+
+def serve(faults, *, num_shards=4, cache=None):
+    group = ShardedReplicaGroup(
+        get_backend("centaur", HARPV2_SYSTEM),
+        DLRM2,
+        num_shards=num_shards,
+        cache=parse_cache_spec(cache) if cache else None,
+        batching=BATCHING,
+        system=HARPV2_SYSTEM,
+    )
+    report = group.serve_workload(
+        WORKLOAD, num_requests=NUM_REQUESTS, seed=SEED, faults=faults
+    )
+    return group, report
+
+
+class TestShardLoss:
+    def test_promote_failover_concentrates_without_correctness_loss(self):
+        _, report = serve(
+            FaultSchedule(
+                [ShardLoss(at_s=0.005, shard=1, restore_after_s=0.01)],
+                window_s=5e-3,
+            )
+        )
+        (incident,) = report.incidents.incidents
+        assert incident.kind == "shard-loss"
+        assert incident.target == "shard:1"
+        assert incident.cleared
+        assert incident.degraded_lookups == 0
+        assert report.sharding.promoted_lookups > 0
+        assert report.sharding.degraded_lookups == 0
+
+    def test_rehash_failover_counts_correctness_loss(self):
+        _, report = serve(
+            FaultSchedule(
+                [ShardLoss(at_s=0.005, shard=0, restore_after_s=0.01, failover="rehash")],
+                window_s=5e-3,
+            )
+        )
+        (incident,) = report.incidents.incidents
+        assert incident.degraded_lookups > 0
+        assert report.sharding.degraded_lookups == incident.degraded_lookups
+        assert report.incidents.correctness_loss(report.sharding.total_lookups) > 0.0
+        assert "rehash" in incident.note
+
+    def test_unrestored_shard_loss_stays_open(self):
+        _, report = serve(FaultSchedule([ShardLoss(at_s=0.005, shard=2)]))
+        (incident,) = report.incidents.incidents
+        assert not incident.cleared
+        assert report.sharding.promoted_lookups > 0
+
+    def test_restore_brings_a_cold_cache(self):
+        group, report = serve(
+            FaultSchedule([ShardLoss(at_s=0.005, shard=0, restore_after_s=0.005)]),
+            cache="lru:rows=2048",
+        )
+        (incident,) = report.incidents.incidents
+        assert incident.cleared
+        # The run finished with cache statistics still continuous (the cold
+        # swap inherits counters) and the cache stack still serving.
+        assert report.sharding.cache.accesses > 0
+
+    def test_losing_every_shard_is_rejected_mid_run(self):
+        schedule = FaultSchedule(
+            [ShardLoss(at_s=0.004, shard=0), ShardLoss(at_s=0.006, shard=1)]
+        )
+        with pytest.raises(SimulationError):
+            serve(schedule, num_shards=2)
+
+
+class TestLinkDegradation:
+    def test_link_window_slows_transfers_and_clears(self):
+        _, degraded = serve(
+            FaultSchedule(
+                [
+                    LinkDegradation(
+                        at_s=0.0,
+                        duration_s=10.0,
+                        bandwidth_factor=0.1,
+                        latency_factor=4.0,
+                    )
+                ]
+            )
+        )
+        _, healthy = serve(None)
+        assert (
+            degraded.sharding.cross_shard_transfer_s
+            > healthy.sharding.cross_shard_transfer_s
+        )
+        (incident,) = degraded.incidents.incidents
+        assert incident.kind == "link"
+        assert "slowdown=40" in incident.note
+
+    def test_brownout_applies_to_the_single_logical_replica(self):
+        _, degraded = serve(
+            FaultSchedule(
+                [Brownout(at_s=0.0, duration_s=10.0, latency_factor=6.0)]
+            )
+        )
+        _, healthy = serve(None)
+        assert degraded.latency.percentiles((99.0,))[0] > (
+            healthy.latency.percentiles((99.0,))[0]
+        )
+
+
+class TestShardedValidation:
+    def test_replica_crash_rejected_on_sharded_groups(self):
+        with pytest.raises(ConfigurationError):
+            serve(FaultSchedule([ReplicaCrash(at_s=0.01)]))
+
+    def test_shard_loss_needs_multiple_shards(self):
+        with pytest.raises(ConfigurationError):
+            serve(FaultSchedule([ShardLoss(at_s=0.01, shard=0)]), num_shards=1)
+
+    def test_shard_target_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            serve(FaultSchedule([ShardLoss(at_s=0.01, shard=9)]))
+
+    def test_link_degradation_needs_multiple_shards(self):
+        with pytest.raises(ConfigurationError):
+            serve(
+                FaultSchedule(
+                    [LinkDegradation(at_s=0.01, duration_s=0.01, bandwidth_factor=0.5)]
+                ),
+                num_shards=1,
+            )
+
+    def test_brownout_replica_index_must_be_zero(self):
+        with pytest.raises(ConfigurationError):
+            serve(
+                FaultSchedule(
+                    [Brownout(at_s=0.01, duration_s=0.01, replica=2)]
+                )
+            )

@@ -1,0 +1,135 @@
+"""The vectorized shard fan-out is elementwise-identical to the scalar path.
+
+``ShardedReplicaServer._priced_sharded`` replaced its per-shard boolean
+masking loop with one ``bincount`` + stable ``argsort`` + ``cumsum``
+slicing pass.  These tests pin the refactor to the scalar reference: for
+arbitrary owner assignments the vectorized grouping must hand every shard
+*exactly* the rows the masking loop produced, in the same order (caches
+are reference-stream sensitive), and the failover remap must equal its
+scalar definition element by element.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving.sharded import ShardedReplicaServer
+
+
+def scalar_group(owners, rows, num_shards):
+    """The pre-vectorization reference: boolean mask per shard."""
+    return {
+        shard: rows[owners == shard]
+        for shard in range(num_shards)
+        if np.count_nonzero(owners == shard)
+    }
+
+
+def vectorized_group(owners, rows, num_shards):
+    """The production grouping: bincount + stable argsort + cumsum slices."""
+    counts = np.bincount(owners, minlength=num_shards)
+    order = np.argsort(owners, kind="stable")
+    sorted_rows = rows[order]
+    ends = np.cumsum(counts)
+    return {
+        int(shard): sorted_rows[ends[shard] - counts[shard] : ends[shard]]
+        for shard in np.nonzero(counts)[0]
+    }
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("num_shards", [2, 3, 8])
+def test_grouping_matches_the_scalar_reference_elementwise(seed, num_shards):
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, 4_000))
+    owners = rng.integers(0, num_shards, size=size)
+    rows = rng.integers(0, 1_000_000, size=size)
+    scalar = scalar_group(owners, rows, num_shards)
+    vector = vectorized_group(owners, rows, num_shards)
+    assert scalar.keys() == vector.keys()
+    for shard, expected in scalar.items():
+        np.testing.assert_array_equal(vector[shard], expected)
+
+
+def test_counts_match_the_scalar_tally():
+    rng = np.random.default_rng(3)
+    owners = rng.integers(0, 5, size=2_500)
+    counts = np.bincount(owners, minlength=5)
+    for shard in range(5):
+        assert counts[shard] == int(np.count_nonzero(owners == shard))
+    # contributed_tables increments exactly where the scalar loop found work
+    np.testing.assert_array_equal(
+        counts > 0, [bool(np.count_nonzero(owners == s)) for s in range(5)]
+    )
+
+
+def test_empty_shard_gets_no_slice():
+    owners = np.array([1, 1, 3, 3, 3])
+    rows = np.array([10, 20, 30, 40, 50])
+    vector = vectorized_group(owners, rows, 4)
+    assert set(vector) == {1, 3}
+    np.testing.assert_array_equal(vector[1], [10, 20])
+    np.testing.assert_array_equal(vector[3], [30, 40, 50])
+
+
+class _FakePlan:
+    def __init__(self, num_shards):
+        self.num_shards = num_shards
+
+
+def make_server(num_shards, lost):
+    """A bare server exposing only the remap state (no sim machinery)."""
+    server = object.__new__(ShardedReplicaServer)
+    server.plan = _FakePlan(num_shards)
+    server._lost_shards = dict(lost)
+    server.degraded_lookups = 0
+    server.promoted_lookups = 0
+    return server
+
+
+class TestFailoverRemap:
+    def test_promote_moves_the_whole_slice_to_the_next_survivor(self):
+        server = make_server(4, {1: "promote"})
+        owners = np.array([0, 1, 2, 1, 3, 1])
+        rows = np.arange(6)
+        remapped = server._remap_owners(owners, rows)
+        np.testing.assert_array_equal(remapped, [0, 2, 2, 2, 3, 2])
+        assert server.promoted_lookups == 3
+        assert server.degraded_lookups == 0
+
+    def test_promote_wraps_past_the_last_shard(self):
+        server = make_server(3, {2: "promote"})
+        owners = np.array([2, 2, 0])
+        remapped = server._remap_owners(owners, np.arange(3))
+        np.testing.assert_array_equal(remapped, [0, 0, 0])
+
+    def test_rehash_matches_the_scalar_definition(self):
+        server = make_server(4, {2: "rehash"})
+        rng = np.random.default_rng(7)
+        owners = rng.integers(0, 4, size=1_000)
+        rows = rng.integers(0, 100_000, size=1_000)
+        remapped = server._remap_owners(owners, rows)
+        survivors = np.array([0, 1, 3])
+        for i in range(1_000):
+            if owners[i] == 2:
+                assert remapped[i] == survivors[rows[i] % 3]
+            else:
+                assert remapped[i] == owners[i]
+        assert server.degraded_lookups == int(np.count_nonzero(owners == 2))
+
+    def test_remap_leaves_the_input_untouched(self):
+        server = make_server(4, {0: "promote"})
+        owners = np.array([0, 1, 0])
+        original = owners.copy()
+        server._remap_owners(owners, np.arange(3))
+        np.testing.assert_array_equal(owners, original)
+
+    def test_two_lost_shards_compose(self):
+        server = make_server(4, {0: "promote", 2: "rehash"})
+        owners = np.array([0, 1, 2, 3])
+        rows = np.array([5, 6, 7, 8])
+        remapped = server._remap_owners(owners, rows)
+        survivors = np.array([1, 3])
+        assert remapped[0] == 1  # next survivor after 0
+        assert remapped[1] == 1
+        assert remapped[2] == survivors[7 % 2]
+        assert remapped[3] == 3

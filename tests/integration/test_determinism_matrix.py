@@ -12,10 +12,14 @@ work-stealing schedules ``pytest-xdist`` produces — and any leakage of
 mutable global state between cells shows up as a cross-run mismatch here.
 """
 
+import hashlib
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.backends import get_backend
+from repro.chaos import Brownout, FaultSchedule, PoissonFaults, ReplicaCrash
 from repro.config import DLRM2, HARPV2_SYSTEM
 from repro.serving import (
     AdaptiveWindowBatching,
@@ -60,7 +64,37 @@ AUTOSCALERS = {
 }
 
 
-def _run(dispatcher_key: str, batching_key: str, autoscaler_key: str):
+FAULTS = {
+    "crash-restart": lambda: FaultSchedule(
+        [ReplicaCrash(at_s=0.01, restart_after_s=0.008)], sla_s=5e-3
+    ),
+    "crash-shed": lambda: FaultSchedule(
+        [ReplicaCrash(at_s=0.012, on_inflight="shed")], sla_s=5e-3
+    ),
+    "brownout": lambda: FaultSchedule(
+        [Brownout(at_s=0.01, duration_s=0.015, replica=0, latency_factor=3.0)],
+        sla_s=5e-3,
+    ),
+    "poisson-storm": lambda: FaultSchedule(
+        [
+            PoissonFaults(
+                template=ReplicaCrash(at_s=0.0, restart_after_s=0.005),
+                rate_hz=50.0,
+                end_s=0.04,
+                seed=3,
+            )
+        ],
+        sla_s=5e-3,
+    ),
+}
+
+
+def _run(
+    dispatcher_key: str,
+    batching_key: str,
+    autoscaler_key: str,
+    fault_key: str = None,
+):
     """One complete serving run built entirely from fresh objects."""
     backend = get_backend("cpu", HARPV2_SYSTEM)
     workload = Workload(
@@ -82,7 +116,12 @@ def _run(dispatcher_key: str, batching_key: str, autoscaler_key: str):
         dispatcher=DISPATCHERS[dispatcher_key](),
         batching=BATCHINGS[batching_key](),
     )
-    report = cluster.serve_workload(workload, num_requests=NUM_REQUESTS, seed=SEED)
+    report = cluster.serve_workload(
+        workload,
+        num_requests=NUM_REQUESTS,
+        seed=SEED,
+        faults=FAULTS[fault_key]() if fault_key is not None else None,
+    )
     return report, cluster.last_outcome
 
 
@@ -119,3 +158,38 @@ def test_same_seed_same_outcome(dispatcher_key, batching_key, autoscaler_key):
     )
     # Conservation holds in every cell of the matrix.
     assert first_outcome.scheduled == first_outcome.completed == NUM_REQUESTS
+
+
+@pytest.mark.parametrize("dispatcher_key", sorted(DISPATCHERS))
+@pytest.mark.parametrize("autoscaler_key", sorted(AUTOSCALERS))
+@pytest.mark.parametrize("fault_key", sorted(FAULTS))
+def test_same_seed_same_outcome_under_faults(
+    dispatcher_key, autoscaler_key, fault_key
+):
+    """Dispatcher x autoscaler x fault type: bit-for-bit reproducible, and
+    the conservation identity relaxes only by the explicit shed count."""
+    first_report, first_outcome = _run(
+        dispatcher_key, "timeout", autoscaler_key, fault_key
+    )
+    second_report, second_outcome = _run(
+        dispatcher_key, "timeout", autoscaler_key, fault_key
+    )
+
+    assert first_outcome == second_outcome
+    assert _fingerprint(first_report, first_outcome) == _fingerprint(
+        second_report, second_outcome
+    )
+    # Incident reports are byte-identical across fresh-object runs.
+    assert first_report.incidents is not None
+    assert hashlib.sha256(
+        pickle.dumps(first_report.incidents, protocol=4)
+    ).hexdigest() == hashlib.sha256(
+        pickle.dumps(second_report.incidents, protocol=4)
+    ).hexdigest()
+    # Chaos accounting is reflected in the autoscale report.
+    assert first_report.autoscale.crashes == second_report.autoscale.crashes
+    assert first_report.autoscale.restarts == second_report.autoscale.restarts
+    # Conservation: arrivals == completed + shed, in every cell.
+    assert first_outcome.scheduled == NUM_REQUESTS
+    assert first_outcome.completed + first_outcome.shed == NUM_REQUESTS
+    assert first_report.incidents.total_shed == first_outcome.shed

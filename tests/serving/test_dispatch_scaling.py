@@ -103,6 +103,48 @@ class TestRoundRobinUnderScaleEvents:
         assert dispatcher.select(replicas, None, 0.0) == 0
 
 
+class TestRoundRobinUnderCrashEvents:
+    """Crash-driven shrink removes *arbitrary* replicas, not the trailing
+    suffix the autoscaler drains; the rotation must resume at the crashed
+    anchor's remembered successor, not whatever now sits in its old slot."""
+
+    def test_crash_of_anchor_and_an_earlier_replica_resumes_at_successor(self):
+        dispatcher = RoundRobinDispatcher()
+        a, b, c, d = (FakeReplica() for _ in range(4))
+        select_sequence(dispatcher, [a, b, c, d], 3)  # last served: c
+        # A crash takes the anchor ``c`` *and* ``a`` in one step.  The slot
+        # heuristic would resume at index 2 -> wrap to ``b`` (double-hit
+        # territory); the remembered rotation says ``d`` follows ``c``.
+        survivors = [b, d]
+        follow = [survivors[i] for i in select_sequence(dispatcher, survivors, 4)]
+        assert follow == [d, b, d, b]
+
+    def test_crash_of_anchor_mid_list_does_not_restart_the_rotation(self):
+        dispatcher = RoundRobinDispatcher()
+        fleet = [FakeReplica() for _ in range(5)]
+        select_sequence(dispatcher, fleet, 2)  # last served: fleet[1]
+        survivors = [fleet[0], fleet[2], fleet[4]]  # crash took 1 and 3
+        follow = [survivors[i] for i in select_sequence(dispatcher, survivors, 3)]
+        assert follow == [fleet[2], fleet[4], fleet[0]]
+
+    def test_full_fleet_replacement_falls_back_to_the_slot_heuristic(self):
+        dispatcher = RoundRobinDispatcher()
+        old = [FakeReplica() for _ in range(3)]
+        select_sequence(dispatcher, old, 2)  # last served index 1
+        fresh = [FakeReplica() for _ in range(3)]
+        assert dispatcher.select(fresh, None, 0.0) == 1
+
+    def test_crash_then_restart_rejoins_the_rotation(self):
+        dispatcher = RoundRobinDispatcher()
+        a, b, c = (FakeReplica() for _ in range(3))
+        select_sequence(dispatcher, [a, b, c], 3)  # last served: c
+        shrunk = [a, b]  # c crashed
+        assert [shrunk[i] for i in select_sequence(dispatcher, shrunk, 2)] == [a, b]
+        healed = [a, b, c]  # c restarted into its old slot
+        follow = [healed[i] for i in select_sequence(dispatcher, healed, 3)]
+        assert follow == [c, a, b]
+
+
 class TestPowerOfTwoUnderScaleEvents:
     def test_single_replica_phase_advances_the_rng(self):
         """A fleet that dipped to one replica must not replay the stream of
@@ -181,3 +223,53 @@ class TestAutoscaledServingRegression:
         assert first.autoscale.timeline == second.autoscale.timeline
         assert first.autoscale.scale_up_events >= 1
         assert first.autoscale.scale_down_events >= 1
+
+    @pytest.mark.parametrize(
+        "make_dispatcher",
+        [RoundRobinDispatcher, lambda: PowerOfTwoChoicesDispatcher(seed=11)],
+    )
+    def test_crash_driven_shrink_double_run(self, make_dispatcher):
+        """A crash removes a non-suffix replica mid-stream — the shrink the
+        drain path never produces; dispatch must stay deterministic and
+        conserve every request."""
+        from repro.chaos import FaultSchedule, ReplicaCrash
+
+        workload = Workload(arrivals=PoissonArrivals(rate_qps=60_000))
+
+        def run():
+            cluster = AutoscalingCluster(
+                CentaurRunner(HARPV2_SYSTEM),
+                DLRM2,
+                policy=None,
+                min_replicas=1,
+                max_replicas=4,
+                initial_replicas=4,
+                warmup_s=2e-3,
+                batching=BATCHING,
+                dispatcher=make_dispatcher(),
+            )
+            report = cluster.serve_workload(
+                workload,
+                num_requests=3_000,
+                seed=2,
+                faults=FaultSchedule(
+                    [
+                        # Replica 1 dies first (non-suffix removal), then the
+                        # current anchor region loses replica 2 as well.
+                        ReplicaCrash(at_s=0.01, replica=1, restart_after_s=0.015),
+                        ReplicaCrash(at_s=0.012, replica=2),
+                    ]
+                ),
+            )
+            return report, cluster.last_outcome
+
+        (first, first_outcome), (second, second_outcome) = run(), run()
+        assert first_outcome == second_outcome
+        assert first_outcome.completed + first_outcome.shed == 3_000
+        assert first.latency.samples_s.tolist() == second.latency.samples_s.tolist()
+        assert first.autoscale.crashes == 2
+        assert first.autoscale.restarts == 1
+        # One full rotation after the crash still covers every live replica:
+        # completions keep landing on all surviving replicas.
+        live = [r for r in first.per_replica if r.completed_requests > 0]
+        assert len(live) >= 3
