@@ -574,6 +574,8 @@ def render_incident_timeline(
             "SLA after %",
             "recover (ms)",
             "recovery rep-s",
+            "refill rows",
+            "refill (ms)",
         ],
         title=header,
     )
@@ -597,6 +599,8 @@ def render_incident_timeline(
                     else "-"
                 ),
                 incident.recovery_replica_seconds,
+                incident.refill_rows,
+                f"{incident.refill_s * 1e3:.3f}",
             ]
         )
     rendered = table.render()
@@ -605,6 +609,8 @@ def render_incident_timeline(
         f"\ntotals: shed={incidents.total_shed}, "
         f"redispatched={incidents.total_redispatched}, "
         f"degraded lookups={incidents.total_degraded_lookups}, "
+        f"cache refill={incidents.total_refill_rows} rows "
+        f"/ {incidents.total_refill_s * 1e3:.3f}ms, "
         f"worst SLA during={100.0 * incidents.worst_sla_during:.2f}%, "
         f"worst time-to-recover="
         + (f"{worst_ttr * 1e3:.1f}ms" if worst_ttr is not None else "not recovered")

@@ -189,6 +189,9 @@ class FaultInjector:
             "rs0": replica_seconds,
             "energy1": None,
             "rs1": None,
+            "refill_rows": 0,
+            "refill_s": 0.0,
+            "refill_joules": 0.0,
             "note": note,
         }
         self._records.append(record)
@@ -328,8 +331,18 @@ class FaultInjector:
         fresh_cache = None
         if self._cache_config is not None:
             # The restored shard comes back with a *cold* hot-row cache:
-            # same configuration and seed, no resident rows.
+            # same configuration and seed, no resident rows.  Everything
+            # the outgoing cache held resident must be re-gathered before
+            # the shard is warm again — price that refill traffic through
+            # the backend's EMB cost model instead of handing back a
+            # silently cold cache.
             fresh_cache = self._cache_config.build(self._model)
+            if self.sharded.caches is not None:
+                resident = len(self.sharded.caches[shard])
+                refill_s, refill_joules = self.sharded.price_refill(resident)
+                record["refill_rows"] = resident
+                record["refill_s"] = refill_s
+                record["refill_joules"] = refill_joules
         self.sharded.restore_shard(shard, fresh_cache)
         self._close(record)
 
@@ -383,6 +396,9 @@ class FaultInjector:
                     degraded_lookups=(degraded1 or 0) - degraded0,
                     recovery_replica_seconds=record["rs1"] - record["rs0"],
                     recovery_energy_joules=record["energy1"] - record["energy0"],
+                    refill_rows=record["refill_rows"],
+                    refill_s=record["refill_s"],
+                    refill_energy_joules=record["refill_joules"],
                     note=record["note"],
                 )
             )

@@ -50,6 +50,12 @@ class Incident:
             restoration.
         recovery_energy_joules: Device energy spent between onset and
             restoration.
+        refill_rows: Hot-row cache rows lost to a cold restart — rows the
+            restored shard must re-gather before its cache is warm again
+            (zero for faults without a cache restart).
+        refill_s: Gather seconds the refill costs, priced through the
+            backend's EMB cost model.
+        refill_energy_joules: Device energy the refill costs.
         sla_before: Attainment in the window before onset.
         sla_during: Attainment between onset and restoration.
         sla_after: Attainment in the window after restoration.
@@ -71,6 +77,9 @@ class Incident:
     degraded_lookups: int = 0
     recovery_replica_seconds: float = 0.0
     recovery_energy_joules: float = 0.0
+    refill_rows: int = 0
+    refill_s: float = 0.0
+    refill_energy_joules: float = 0.0
     sla_before: float = 1.0
     sla_during: float = 1.0
     sla_after: float = 1.0
@@ -108,6 +117,18 @@ class IncidentReport:
     @property
     def total_degraded_lookups(self) -> int:
         return sum(incident.degraded_lookups for incident in self.incidents)
+
+    @property
+    def total_refill_rows(self) -> int:
+        return sum(incident.refill_rows for incident in self.incidents)
+
+    @property
+    def total_refill_s(self) -> float:
+        return sum(incident.refill_s for incident in self.incidents)
+
+    @property
+    def total_refill_energy_joules(self) -> float:
+        return sum(incident.refill_energy_joules for incident in self.incidents)
 
     def correctness_loss(self, total_lookups: int) -> float:
         """Fraction of the run's lookups served degraded under re-hash."""

@@ -37,6 +37,21 @@ from repro.utils.tables import TextTable
 from repro.utils.units import seconds_to_human
 
 
+def _progress_printer(enabled: bool):
+    """A grid-progress callback logging to stderr (or ``None`` when off).
+
+    Progress goes to stderr so rendered tables/CSV on stdout stay
+    byte-identical with and without ``--progress``.
+    """
+    if not enabled:
+        return None
+
+    def emit(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    return emit
+
+
 def parse_model(which: str) -> DLRMConfig:
     """Resolve ``DLRM3`` / ``DLRM(3)`` / ``3`` to a Table I preset."""
     text = which.strip()
@@ -68,6 +83,9 @@ def _cmd_list_backends(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiment.executor import resolve_jobs
+
+    resolve_jobs(args.jobs)  # validate; a single design point prices serially
     model = parse_model(args.model)
     backend = get_backend(args.backend, HARPV2_SYSTEM)
     result = backend.run(model, args.batch)
@@ -109,6 +127,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         .backends(*backends)
         .models(models)
         .batch_sizes(batches)
+        .jobs(args.jobs)
+        .progress(_progress_printer(args.progress))
         .run()
     )
     if args.csv:
@@ -166,6 +186,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if (args.duration is None) == (args.requests is None):
         print("error: provide exactly one of --duration / --requests", file=sys.stderr)
         return 2
+    from repro.experiment.executor import resolve_jobs
+
+    if resolve_jobs(args.jobs) > 1:
+        print(
+            "note: serve evaluates one (backend, workload) point; --jobs "
+            "parallelizes grids (sweep, Experiment.serve), so this run is serial",
+            file=sys.stderr,
+        )
+    progress = _progress_printer(args.progress)
     faults = resolve_fault_spec(args.faults)
     scenario = (
         SCENARIO_CATALOG.get(args.faults.strip().lower())
@@ -221,6 +250,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             faults=faults,
         )
+        if progress is not None:
+            progress(f"[1/1] {args.backend} {workload.name} {model.name} served")
         cache_label = cache_config.describe() if cache_config is not None else "off"
         label = (
             f"{backend.design_point} x{num_shards} {shard_strategy} "
@@ -331,6 +362,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         label = f"{backend.design_point} x{args.replicas}"
         profiled = cluster
+    if progress is not None:
+        progress(f"[1/1] {args.backend} {workload.name} {model.name} served")
     print(f"workload: {workload.describe()}")
     if workload.trace.kind != "uniform":
         print(
@@ -382,6 +415,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         max_replicas=args.max_replicas,
         batching=TimeoutBatching(window_s=args.window, max_batch_size=args.max_batch),
         seed=args.seed,
+        jobs=args.jobs,
     )
     plan = planner.plan(
         workload,
@@ -418,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="cpu",
         help="backend to compare against (default cpu; empty string disables)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for grid evaluation (0 = all CPUs); a single "
+            "design point always prices serially"
+        ),
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -433,6 +476,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", nargs="+", type=int, default=None, help="batch sizes (default: 1-128)"
     )
     sweep_parser.add_argument("--csv", default=None, help="write the grid to a CSV file")
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes fanning the grid out (default 1 = serial, "
+            "0 = all CPUs); results are byte-identical at any setting"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log each grid point (n/total, cached vs computed) to stderr",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     workloads_parser = subparsers.add_parser(
@@ -555,6 +612,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="event-queue implementation for the simulation engine",
     )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for grid evaluation (0 = all CPUs); serve "
+            "runs one point, so this is accepted for symmetry and noted"
+        ),
+    )
+    serve_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log point completion to stderr (never alters the report)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     plan_parser = subparsers.add_parser(
@@ -597,6 +668,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batch", type=int, default=64, help="batching size cap"
     )
     plan_parser.add_argument("--seed", type=int, default=0, help="workload stream seed")
+    plan_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes searching backends in parallel (0 = all "
+            "CPUs); each backend's search stays sequential"
+        ),
+    )
     plan_parser.set_defaults(handler=_cmd_plan)
     return parser
 

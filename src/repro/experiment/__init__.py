@@ -13,6 +13,7 @@ from repro.experiment.cache import (
     set_default_cache,
     system_fingerprint,
 )
+from repro.experiment.executor import GridExecutor, resolve_jobs
 from repro.experiment.experiment import (
     Experiment,
     ExperimentKey,
@@ -40,6 +41,7 @@ __all__ = [
     "Experiment",
     "ExperimentKey",
     "ExperimentResult",
+    "GridExecutor",
     "ResultCache",
     "ServingExperimentResult",
     "ServingKey",
@@ -54,6 +56,7 @@ __all__ = [
     "default_cache",
     "model_fingerprint",
     "override_default_cache",
+    "resolve_jobs",
     "run_grid",
     "serve_grid",
     "shard_grid",

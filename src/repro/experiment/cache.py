@@ -13,6 +13,7 @@ import dataclasses
 import hashlib
 import json
 import pathlib
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple, Union
 
@@ -69,6 +70,13 @@ class ResultCache:
     Tracks hit/miss/compute counters so tests (and the benchmark harness)
     can assert that a full figure regeneration computes each unique design
     point exactly once.
+
+    Thread-safe: :meth:`get_or_compute` holds the cache lock across the
+    whole lookup-or-compute, so concurrent threads racing on one key can
+    never price it twice (threaded callers serialize on the device model —
+    process-level parallelism is what :class:`~repro.experiment.executor.
+    GridExecutor` is for).  Caches pickle without their lock, so a worker
+    process can ship its cache back to the parent for :meth:`merge`.
     """
 
     def __init__(self) -> None:
@@ -76,6 +84,17 @@ class ResultCache:
         self._compute_counts: Dict[CacheKey, int] = {}
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -107,31 +126,60 @@ class ResultCache:
         """
         name = backend_name if backend_name is not None else backend.name
         key = self.key(name, model, batch_size, system)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        self._compute_counts[key] = self._compute_counts.get(key, 0) + 1
-        result = backend.run(model, batch_size)
-        self._entries[key] = result
-        return result
+        # The lock spans check *and* compute: releasing it between the two
+        # is exactly the race that let two threads price one point twice.
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+            self._compute_counts[key] = self._compute_counts.get(key, 0) + 1
+            result = backend.run(model, batch_size)
+            self._entries[key] = result
+            return result
+
+    def peek(self, key: CacheKey) -> Optional[InferenceResult]:
+        """The memoized result of ``key`` without touching any counter."""
+        with self._lock:
+            return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "ResultCache") -> None:
+        """Fold a worker cache into this one.
+
+        Entries absent here are adopted (the first cache to price a key
+        wins on conflict — results are pure functions of the key, so both
+        sides hold equal values); compute/hit/miss counters are *summed*,
+        so duplicated work across processes still surfaces through
+        :meth:`max_compute_count` instead of being hidden by the merge.
+        """
+        with self._lock, other._lock:
+            for key, result in other._entries.items():
+                self._entries.setdefault(key, result)
+            for key, count in other._compute_counts.items():
+                self._compute_counts[key] = self._compute_counts.get(key, 0) + count
+            self.hits += other.hits
+            self.misses += other.misses
 
     # ------------------------------------------------------------------
     def compute_counts(self) -> Dict[CacheKey, int]:
         """How many times each design point was actually computed."""
-        return dict(self._compute_counts)
+        with self._lock:
+            return dict(self._compute_counts)
 
     def max_compute_count(self) -> int:
         """The worst duplication across all keys (1 = perfectly memoized)."""
-        return max(self._compute_counts.values(), default=0)
+        with self._lock:
+            return max(self._compute_counts.values(), default=0)
 
     def clear(self) -> None:
         """Drop all entries and counters."""
-        self._entries.clear()
-        self._compute_counts.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._compute_counts.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -142,10 +190,11 @@ class ResultCache:
     # ------------------------------------------------------------------
     def save(self, path: Union[str, pathlib.Path]) -> None:
         """Persist all entries as JSON (keys + serialized results)."""
-        payload = [
-            {"key": list(key), "result": result.to_dict()}
-            for key, result in self._entries.items()
-        ]
+        with self._lock:
+            payload = [
+                {"key": list(key), "result": result.to_dict()}
+                for key, result in self._entries.items()
+            ]
         pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
     @classmethod
@@ -165,6 +214,7 @@ class ResultCache:
 
 #: Process-wide cache shared by every Experiment that does not override it.
 _DEFAULT_CACHE = ResultCache()
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_cache() -> ResultCache:
@@ -175,8 +225,9 @@ def default_cache() -> ResultCache:
 def set_default_cache(cache: ResultCache) -> ResultCache:
     """Replace the process-wide cache; returns the previous one."""
     global _DEFAULT_CACHE
-    previous = _DEFAULT_CACHE
-    _DEFAULT_CACHE = cache
+    with _DEFAULT_CACHE_LOCK:
+        previous = _DEFAULT_CACHE
+        _DEFAULT_CACHE = cache
     return previous
 
 

@@ -1,0 +1,359 @@
+"""Process-pool fan-out for experiment grids.
+
+Every grid point in this repo is an independent, seed-deterministic
+simulation — a pure function of picklable inputs (backend *name*, model /
+system configs, workload / shard / fault specs).  :class:`GridExecutor`
+exploits that: it fans task payloads out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and hands results back in
+**submission order**, so callers that enumerate their grid in the serial
+order get byte-identical products at any ``jobs=`` setting.
+
+The module-level ``_run_*`` functions are the worker entry points (they
+must be importable by name so payloads stay spawn-safe).  Workers resolve
+backends through the registry — builtin backends self-register on import
+in every process; ad-hoc registrations made only in the parent cannot be
+resolved by a worker, which is why ``jobs`` defaults to 1 (the serial
+path) everywhere.
+
+Determinism contract (asserted by the equivalence-matrix tests): for each
+grid flavour the parallel path partitions points exactly the way the
+serial path shares state — batch points are pure per-point functions;
+serving points share a simulator per (backend, default model) group, so a
+whole group is one task replayed in serial order inside one worker; shard
+points build a fresh group each, so they ship one per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.registry import backend_registration, get_backend
+from repro.config.models import DLRMConfig
+from repro.config.system import SystemConfig
+from repro.errors import SimulationError
+from repro.experiment.cache import ResultCache
+from repro.results import InferenceResult
+from repro.workloads.workload import Workload
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``jobs=`` setting: ``0`` means one worker per CPU."""
+    jobs = int(jobs)
+    if jobs < 0:
+        raise SimulationError(f"jobs must be >= 0 (0 = all CPUs), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _pool_context(start_method: Optional[str]):
+    """The multiprocessing context grids fan out with.
+
+    ``fork`` (where the platform offers it) starts a worker in
+    milliseconds; ``spawn`` pays a fresh-interpreter import (~1.5 s of
+    ``repro`` imports) per worker, which would erase the speedup on small
+    grids.  Payloads are spawn-safe either way — workers never rely on
+    inherited state (each computes into a fresh local cache) — so forcing
+    ``start_method="spawn"`` changes wall-clock, never results.
+    """
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(start_method)
+
+
+#: Progress callback: (payload index, result) — completion order in
+#: parallel mode, submission order in serial mode.
+OnResult = Callable[[int, object], None]
+
+
+class GridExecutor:
+    """Maps a worker function over picklable payloads, jobs at a time.
+
+    ``jobs=1`` runs the plain serial loop in-process (no pool, no pickling
+    — exactly the pre-parallel code path).  Results always come back in
+    submission order regardless of completion order, which is what lets
+    grid products stay byte-identical across ``jobs`` settings.
+    """
+
+    def __init__(self, jobs: int = 1, start_method: Optional[str] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.start_method = start_method
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        payloads: Sequence[object],
+        on_result: Optional[OnResult] = None,
+    ) -> List[object]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.jobs == 1 or len(payloads) == 1:
+            results: List[object] = []
+            for index, payload in enumerate(payloads):
+                result = fn(payload)
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+            return results
+        slots: List[object] = [None] * len(payloads)
+        context = _pool_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(payloads)), mp_context=context
+        ) as pool:
+            pending = {
+                pool.submit(fn, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    slots[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, slots[index])
+        return slots
+
+
+# ----------------------------------------------------------------------
+# Batch grids (Experiment.run)
+
+
+@dataclass(frozen=True)
+class BatchChunk:
+    """A slice of batch-grid points one worker prices.
+
+    ``memoize=True`` computes through a fresh worker-local
+    :class:`ResultCache` and returns it for the parent to
+    :meth:`~ResultCache.merge`; ``memoize=False`` mirrors the uncached
+    serial path (every point runs the device model, duplicates included).
+    """
+
+    system: SystemConfig
+    points: Tuple[Tuple[str, DLRMConfig, int], ...]  # (backend, model, batch)
+    memoize: bool = True
+
+
+def _run_batch_chunk(chunk: BatchChunk):
+    backends: Dict[str, object] = {}
+    for name, _, _ in chunk.points:
+        if name not in backends:
+            backends[name] = get_backend(name, chunk.system)
+    if chunk.memoize:
+        cache = ResultCache()
+        for name, model, batch_size in chunk.points:
+            cache.get_or_compute(
+                backends[name], model, batch_size, chunk.system, backend_name=name
+            )
+        return cache
+    return [
+        backends[name].run(model, batch_size)
+        for name, model, batch_size in chunk.points
+    ]
+
+
+# ----------------------------------------------------------------------
+# Serving grids (serve / autoscale / chaos)
+
+
+@dataclass
+class SimulatorSpec:
+    """Declarative recipe for one serving front-end.
+
+    The serial grids used to capture this in a closure; a spec is the
+    picklable equivalent, built once per grid and instantiated per
+    (backend, default model) group — in the parent at ``jobs=1``, in the
+    worker otherwise.
+    """
+
+    kind: str  # "serve" | "autoscale" | "chaos"
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+def build_simulator(
+    spec: SimulatorSpec, backend_name: str, backend, model: DLRMConfig
+):
+    """Instantiate the serving front-end a spec describes."""
+    params = spec.params
+    if spec.kind == "serve":
+        from repro.serving.cluster import ClusterSimulator
+        from repro.serving.simulator import ServingSimulator
+
+        if params["replicas"] == 1:
+            return ServingSimulator(backend, model, batching=params["batching"])
+        return ClusterSimulator(
+            backend,
+            model,
+            num_replicas=params["replicas"],
+            batching=params["batching"],
+            dispatcher=params["dispatcher"],
+        )
+    if spec.kind in ("autoscale", "chaos"):
+        from repro.serving.autoscale import AutoscalingCluster
+
+        warmup_s = params["warmup_s"]
+        if warmup_s is None:
+            warmup_s = backend_registration(
+                backend_name
+            ).capabilities.provision_warmup_s
+        kwargs = dict(
+            policy=params["policy"],
+            min_replicas=params["min_replicas"],
+            max_replicas=params["max_replicas"],
+            control_interval_s=params["control_interval_s"],
+            warmup_s=warmup_s,
+            idle_power_w=params["idle_power_w"],
+            batching=params["batching"],
+            dispatcher=params["dispatcher"],
+        )
+        if spec.kind == "chaos":
+            kwargs["initial_replicas"] = params["initial_replicas"]
+        return AutoscalingCluster(backend, model, **kwargs)
+    raise SimulationError(f"unknown simulator spec kind {spec.kind!r}")
+
+
+@dataclass
+class ServeGroup:
+    """All serving points sharing one simulator, replayed in serial order.
+
+    The serial grid reuses one simulator per (backend, default model) and
+    serves its workloads in encounter order; shipping the whole group as
+    one task reproduces that reuse pattern exactly, which is what keeps
+    ``jobs=N`` reports byte-identical to ``jobs=1``.
+    """
+
+    system: SystemConfig
+    spec: SimulatorSpec
+    backend_name: str
+    default_model: DLRMConfig
+    workloads: Tuple[Workload, ...]
+    duration_s: Optional[float]
+    num_requests: Optional[int]
+    seed: int
+    serve_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+def _run_serve_group(group: ServeGroup) -> List[Tuple[str, str, object]]:
+    backend = get_backend(group.backend_name, group.system)
+    simulator = build_simulator(
+        group.spec, group.backend_name, backend, group.default_model
+    )
+    reports: List[Tuple[str, str, object]] = []
+    for workload in group.workloads:
+        report = simulator.serve_workload(
+            workload,
+            duration_s=group.duration_s,
+            num_requests=group.num_requests,
+            seed=group.seed,
+            **group.serve_kwargs,
+        )
+        reports.append((workload.name, report.model_name, report))
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Sharding grids
+
+
+@dataclass
+class ShardPoint:
+    """One sharded-serving grid point (a fresh group per point)."""
+
+    system: SystemConfig
+    backend_name: str
+    workload: Workload
+    model: DLRMConfig
+    plan: object  # ShardingPlan
+    cache: object  # Optional[CacheConfig]
+    batching: object  # Optional[BatchingPolicy]
+    duration_s: Optional[float]
+    num_requests: Optional[int]
+    seed: int
+
+
+def _run_shard_point(point: ShardPoint):
+    from repro.serving.sharded import ShardedReplicaGroup
+
+    backend = get_backend(point.backend_name, point.system)
+    group = ShardedReplicaGroup(
+        backend,
+        point.model,
+        plan=point.plan,
+        cache=point.cache,
+        batching=point.batching,
+        system=point.system,
+    )
+    return group.serve_workload(
+        point.workload,
+        duration_s=point.duration_s,
+        num_requests=point.num_requests,
+        seed=point.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Capacity planning
+
+
+@dataclass
+class PlanBackendTask:
+    """One backend's minimal-fleet search (the search itself is serial)."""
+
+    system: SystemConfig
+    sla_s: float
+    target_attainment: float
+    max_replicas: int
+    batching: object
+    dispatcher: object
+    seed: int
+    backend_name: str
+    model: DLRMConfig
+    workload: Workload
+    duration_s: Optional[float]
+    num_requests: Optional[int]
+
+
+def _run_plan_backend(task: PlanBackendTask):
+    from repro.serving.planner import CapacityPlanner
+
+    planner = CapacityPlanner(
+        task.system,
+        sla_s=task.sla_s,
+        target_attainment=task.target_attainment,
+        max_replicas=task.max_replicas,
+        batching=task.batching,
+        dispatcher=task.dispatcher,
+        seed=task.seed,
+    )
+    return planner.plan_backend(
+        task.backend_name,
+        task.model,
+        task.workload,
+        duration_s=task.duration_s,
+        num_requests=task.num_requests,
+    )
+
+
+def chunk_evenly(items: Sequence, chunks: int) -> List[List]:
+    """Split ``items`` into at most ``chunks`` contiguous, balanced runs."""
+    items = list(items)
+    count = min(max(1, chunks), len(items)) if items else 0
+    if count == 0:
+        return []
+    base, extra = divmod(len(items), count)
+    out: List[List] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out

@@ -239,19 +239,24 @@ class Experiment:
         system: Hardware platform shared by every backend in the grid.
         cache: Result cache; defaults to the process-wide shared cache.
             Pass ``None`` to disable memoization for this experiment.
+        jobs: Worker processes for grid evaluation (``1`` = serial,
+            ``0`` = one per CPU).  Results are byte-identical at every
+            setting; see :mod:`repro.experiment.executor`.
 
     The builder methods mutate and return ``self`` so grids read as one
     chained expression; defaults reproduce the paper's full evaluation grid
     (all registered backends, Table I models, batch sizes 1-128).
     """
 
-    def __init__(self, system: SystemConfig, cache=_USE_DEFAULT_CACHE):
+    def __init__(self, system: SystemConfig, cache=_USE_DEFAULT_CACHE, jobs: int = 1):
         self.system = system
         self._cache = cache
         self._backend_names: Optional[Tuple[str, ...]] = None
         self._models: Tuple[DLRMConfig, ...] = PAPER_MODELS
         self._batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES
         self._workloads: Tuple["Workload", ...] = ()
+        self._jobs = jobs
+        self._progress: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     def backends(self, *names: str) -> "Experiment":
@@ -333,6 +338,31 @@ class Experiment:
         self._cache = cache
         return self
 
+    def jobs(self, jobs: int) -> "Experiment":
+        """Evaluate grids with this many worker processes.
+
+        ``1`` (the default) is the serial in-process path; ``0`` means one
+        worker per CPU.  Every grid product is byte-identical to the
+        serial run at any setting — parallelism only changes wall-clock.
+        Workers resolve backends through the registry, so ad-hoc backends
+        registered only in this process require ``jobs=1``.
+        """
+        from repro.experiment.executor import resolve_jobs
+
+        resolve_jobs(jobs)  # validate eagerly; store the raw setting
+        self._jobs = int(jobs)
+        return self
+
+    def progress(self, callback: Optional[Callable[[str], None]]) -> "Experiment":
+        """Log one line per completed grid point through ``callback``.
+
+        Lines look like ``[12/108] cpu DLRM(3) b64 computed`` (batch
+        grids say ``cached`` vs ``computed``; serving grids say
+        ``served``).  Logging never alters any grid product.
+        """
+        self._progress = callback
+        return self
+
     # ------------------------------------------------------------------
     @property
     def backend_names(self) -> Tuple[str, ...]:
@@ -358,27 +388,131 @@ class Experiment:
             return default_cache()
         return self._cache
 
+    def _grid_points(self) -> List[Tuple[str, DLRMConfig, int]]:
+        """The grid in serial evaluation order: model x batch x backend."""
+        names = list(dict.fromkeys(self.backend_names))
+        return [
+            (name, model, batch_size)
+            for model in self._models
+            for batch_size in self._batch_sizes
+            for name in names
+        ]
+
     def run(self) -> ExperimentResult:
         """Evaluate the grid and return the collected results.
 
         Design points already in the cache are returned without touching
         the device models; everything else is computed once and memoized.
+        With ``jobs > 1`` the uncached points fan out over worker
+        processes, each pricing into a fresh local cache that is merged
+        back — so "each point computed exactly once" holds across the
+        whole pool, and the collected grid is byte-identical to a serial
+        run.
         """
+        from repro.experiment.executor import resolve_jobs
+
         cache = self._resolve_cache()
-        backends = {
-            name: get_backend(name, self.system) for name in self.backend_names
-        }
+        points = self._grid_points()
+        if resolve_jobs(self._jobs) > 1:
+            return self._run_parallel(points, cache)
+        backends = {name: get_backend(name, self.system) for name, _, _ in points}
         outcome = ExperimentResult(self.system)
-        for model in self._models:
-            for batch_size in self._batch_sizes:
-                for name, backend in backends.items():
-                    if cache is not None:
-                        result = cache.get_or_compute(
-                            backend, model, batch_size, self.system, backend_name=name
-                        )
-                    else:
-                        result = backend.run(model, batch_size)
+        total = len(points)
+        for done, (name, model, batch_size) in enumerate(points, start=1):
+            if cache is not None:
+                was_cached = cache.key(name, model, batch_size, self.system) in cache
+                result = cache.get_or_compute(
+                    backends[name], model, batch_size, self.system, backend_name=name
+                )
+            else:
+                was_cached = False
+                result = backends[name].run(model, batch_size)
+            outcome.add(name, result)
+            if self._progress is not None:
+                status = "cached" if was_cached else "computed"
+                self._progress(
+                    f"[{done}/{total}] {name} {model.name} b{batch_size} {status}"
+                )
+        return outcome
+
+    def _run_parallel(
+        self,
+        points: List[Tuple[str, DLRMConfig, int]],
+        cache: Optional[ResultCache],
+    ) -> ExperimentResult:
+        """Fan the grid's uncached points out over worker processes."""
+        from repro.experiment.executor import (
+            BatchChunk,
+            GridExecutor,
+            _run_batch_chunk,
+            chunk_evenly,
+        )
+
+        executor = GridExecutor(self._jobs)
+        outcome = ExperimentResult(self.system)
+        total = len(points)
+        done = 0
+
+        def emit(name: str, model: DLRMConfig, batch_size: int, status: str) -> None:
+            nonlocal done
+            done += 1
+            if self._progress is not None:
+                self._progress(
+                    f"[{done}/{total}] {name} {model.name} b{batch_size} {status}"
+                )
+
+        if cache is None:
+            chunks = chunk_evenly(points, executor.jobs * 4)
+            payloads = [
+                BatchChunk(self.system, tuple(chunk), memoize=False)
+                for chunk in chunks
+            ]
+
+            def on_chunk(index: int, results) -> None:
+                for name, model, batch_size in chunks[index]:
+                    emit(name, model, batch_size, "computed")
+
+            chunk_results = executor.map(_run_batch_chunk, payloads, on_result=on_chunk)
+            for chunk, results in zip(chunks, chunk_results):
+                for (name, _, _), result in zip(chunk, results):
                     outcome.add(name, result)
+            return outcome
+
+        # Memoized path: ship each missing key exactly once, merge the
+        # worker caches back, then collect every point (now a lookup) in
+        # serial order.  Hit/miss accounting mirrors the serial loop: a
+        # point whose key is cached — or already bound for a worker — is
+        # the hit it would have been serially; each shipped key is the one
+        # miss its worker records.
+        shipped = set()
+        pending: List[Tuple[str, DLRMConfig, int]] = []
+        statuses: List[str] = []
+        for name, model, batch_size in points:
+            key = cache.key(name, model, batch_size, self.system)
+            if key in cache or key in shipped:
+                with cache._lock:
+                    cache.hits += 1
+                statuses.append("cached")
+            else:
+                shipped.add(key)
+                pending.append((name, model, batch_size))
+                statuses.append("computed")
+        chunks = chunk_evenly(pending, executor.jobs * 4)
+        payloads = [
+            BatchChunk(self.system, tuple(chunk), memoize=True) for chunk in chunks
+        ]
+
+        def on_cache(index: int, worker_cache) -> None:
+            for name, model, batch_size in chunks[index]:
+                emit(name, model, batch_size, "computed")
+
+        for worker_cache in executor.map(_run_batch_chunk, payloads, on_result=on_cache):
+            cache.merge(worker_cache)
+        for (name, model, batch_size), status in zip(points, statuses):
+            result = cache.peek(cache.key(name, model, batch_size, self.system))
+            outcome.add(name, result)
+            if status == "cached":
+                emit(name, model, batch_size, "cached")
         return outcome
 
     def serve(
@@ -416,6 +550,8 @@ class Experiment:
             dispatcher=dispatcher,
             replicas=replicas,
             seed=seed,
+            jobs=self._jobs,
+            progress=self._progress,
         )
 
     def autoscale(
@@ -463,6 +599,8 @@ class Experiment:
             batching=batching,
             dispatcher=dispatcher,
             seed=seed,
+            jobs=self._jobs,
+            progress=self._progress,
         )
 
     def chaos(
@@ -516,6 +654,8 @@ class Experiment:
             batching=batching,
             dispatcher=dispatcher,
             seed=seed,
+            jobs=self._jobs,
+            progress=self._progress,
         )
 
     def shard(
@@ -565,6 +705,8 @@ class Experiment:
             num_requests=num_requests,
             batching=batching,
             seed=seed,
+            jobs=self._jobs,
+            progress=self._progress,
         )
 
     def plan_capacity(
@@ -608,6 +750,7 @@ class Experiment:
             batching=batching,
             dispatcher=dispatcher,
             seed=seed,
+            jobs=self._jobs,
         )
         return {
             workload.name: planner.plan(

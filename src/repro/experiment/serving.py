@@ -17,17 +17,24 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.registry import backend_registration, get_backend
 from repro.config.models import DLRMConfig
 from repro.config.system import SystemConfig
 from repro.errors import ConfigurationError, SimulationError
+from repro.experiment.executor import (
+    GridExecutor,
+    ServeGroup,
+    SimulatorSpec,
+    _run_serve_group,
+    build_simulator,
+    resolve_jobs,
+)
 from repro.serving.batching import BatchingPolicy
-from repro.serving.cluster import ClusterReport, ClusterSimulator
+from repro.serving.cluster import ClusterReport
 from repro.serving.dispatch import Dispatcher
 from repro.serving.metrics import ServingReport
-from repro.serving.simulator import ServingSimulator
 from repro.workloads.workload import Workload
 
 #: Key identifying one serving point: (backend, workload name, model label).
@@ -202,29 +209,35 @@ def _run_serving_grid(
     backend_names: Sequence[str],
     workloads: Sequence[Workload],
     models: Sequence[DLRMConfig],
-    make_simulator,
+    spec: SimulatorSpec,
     duration_s: Optional[float],
     num_requests: Optional[int],
     seed: int,
     serve_kwargs: Optional[Dict] = None,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ServingExperimentResult:
-    """The shared backends x workloads fan-out both grid flavours run.
+    """The shared backends x workloads fan-out every grid flavour runs.
 
-    ``make_simulator(backend_name, backend, model)`` builds whichever
-    serving front-end the grid evaluates (single device, static cluster,
-    elastic cluster).  Simulators are cached per (backend, default model)
-    and reused across workloads, so each device point is priced once for
-    the whole grid — the same pricing discipline the batch ``Experiment``
-    gets from its ``ResultCache``.  Single-model workloads fan out over
-    ``models``; workloads carrying a traffic mix serve their own blend
-    (one point each).
+    ``spec`` describes whichever serving front-end the grid evaluates
+    (single device, static cluster, elastic cluster).  Simulators are
+    built per (backend, default model) and reused across workloads, so
+    each device point is priced once for the whole grid — the same
+    pricing discipline the batch ``Experiment`` gets from its
+    ``ResultCache``.  Single-model workloads fan out over ``models``;
+    workloads carrying a traffic mix serve their own blend (one point
+    each).
+
+    With ``jobs > 1`` each (backend, default model) *group* ships to a
+    worker as one task that replays its workloads in serial order — the
+    exact simulator-reuse pattern of the serial loop, so reports come
+    back byte-identical at any ``jobs`` setting.
     """
     if not workloads:
         raise SimulationError("a serving grid needs at least one workload")
-    outcome = ServingExperimentResult(system)
-    simulators: Dict[Tuple[str, str], object] = {}
+    # Enumerate all grid points in the serial evaluation order.
+    entries: List[Tuple[str, Workload, DLRMConfig]] = []
     for backend_name in backend_names:
-        backend = get_backend(backend_name, system)
         for workload in workloads:
             if workload.mix is not None:
                 grid_models: Tuple[Optional[DLRMConfig], ...] = (None,)
@@ -237,19 +250,91 @@ def _run_serving_grid(
                 grid_models = tuple(models)
             for model in grid_models:
                 default_model = model if model is not None else workload.models[0]
-                point_key = (backend_name, default_model.name)
-                simulator = simulators.get(point_key)
-                if simulator is None:
-                    simulator = make_simulator(backend_name, backend, default_model)
-                    simulators[point_key] = simulator
-                report: AnyReport = simulator.serve_workload(
-                    workload,
-                    duration_s=duration_s,
-                    num_requests=num_requests,
-                    seed=seed,
-                    **(serve_kwargs or {}),
-                )
-                outcome.add(backend_name, workload.name, report.model_name, report)
+                entries.append((backend_name, workload, default_model))
+
+    outcome = ServingExperimentResult(system)
+    total = len(entries)
+
+    def emit(done: int, backend_name: str, workload_name: str, model_name: str) -> None:
+        if progress is not None:
+            progress(
+                f"[{done}/{total}] {backend_name} {workload_name} {model_name} served"
+            )
+
+    if resolve_jobs(jobs) == 1:
+        backends: Dict[str, object] = {}
+        simulators: Dict[Tuple[str, str], object] = {}
+        for done, (backend_name, workload, default_model) in enumerate(entries, 1):
+            backend = backends.get(backend_name)
+            if backend is None:
+                backend = get_backend(backend_name, system)
+                backends[backend_name] = backend
+            point_key = (backend_name, default_model.name)
+            simulator = simulators.get(point_key)
+            if simulator is None:
+                simulator = build_simulator(spec, backend_name, backend, default_model)
+                simulators[point_key] = simulator
+            report: AnyReport = simulator.serve_workload(
+                workload,
+                duration_s=duration_s,
+                num_requests=num_requests,
+                seed=seed,
+                **(serve_kwargs or {}),
+            )
+            outcome.add(backend_name, workload.name, report.model_name, report)
+            emit(done, backend_name, workload.name, report.model_name)
+        return outcome
+
+    # Parallel path: one task per simulator-sharing group, results
+    # re-inserted at each point's serial position.
+    groups: Dict[Tuple[str, str], Dict[str, object]] = {}
+    for position, (backend_name, workload, default_model) in enumerate(entries):
+        group = groups.setdefault(
+            (backend_name, default_model.name),
+            {
+                "backend_name": backend_name,
+                "default_model": default_model,
+                "workloads": [],
+                "positions": [],
+            },
+        )
+        group["workloads"].append(workload)
+        group["positions"].append(position)
+    group_list = list(groups.values())
+    payloads = [
+        ServeGroup(
+            system=system,
+            spec=spec,
+            backend_name=group["backend_name"],
+            default_model=group["default_model"],
+            workloads=tuple(group["workloads"]),
+            duration_s=duration_s,
+            num_requests=num_requests,
+            seed=seed,
+            serve_kwargs=dict(serve_kwargs or {}),
+        )
+        for group in group_list
+    ]
+    done = 0
+
+    def on_group(index: int, reports) -> None:
+        nonlocal done
+        group = group_list[index]
+        for _, (workload_name, model_name, _) in zip(group["positions"], reports):
+            done += 1
+            emit(done, group["backend_name"], workload_name, model_name)
+
+    slots: List[Optional[Tuple[str, str, str, AnyReport]]] = [None] * total
+    executor = GridExecutor(jobs)
+    for group, reports in zip(
+        group_list, executor.map(_run_serve_group, payloads, on_result=on_group)
+    ):
+        for position, (workload_name, model_name, report) in zip(
+            group["positions"], reports
+        ):
+            slots[position] = (group["backend_name"], workload_name, model_name, report)
+    for backend_name, workload_name, model_name, report in slots:
+        outcome.add(backend_name, workload_name, model_name, report)
     return outcome
 
 
@@ -269,6 +354,8 @@ def autoscale_grid(
     batching: Optional[BatchingPolicy] = None,
     dispatcher: Optional[Dispatcher] = None,
     seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ServingExperimentResult:
     """Evaluate a backends x workloads grid on elastic (autoscaled) fleets.
 
@@ -279,41 +366,35 @@ def autoscale_grid(
     registered ``provision_warmup_s`` hint, so a Centaur fleet pays its
     FPGA reconfiguration time while a CPU fleet warms in a fraction of it.
     """
-    from repro.serving.autoscale import AutoscalingCluster
-
     for backend_name in backend_names:
         check_elastic_support(backend_name)
         for workload in workloads:
             check_workload_support(backend_name, workload)
 
-    def make_simulator(backend_name, backend, model):
-        backend_warmup = (
-            warmup_s
-            if warmup_s is not None
-            else backend_registration(backend_name).capabilities.provision_warmup_s
-        )
-        return AutoscalingCluster(
-            backend,
-            model,
-            policy=policy,
-            min_replicas=min_replicas,
-            max_replicas=max_replicas,
-            control_interval_s=control_interval_s,
-            warmup_s=backend_warmup,
-            idle_power_w=idle_power_w,
-            batching=batching,
-            dispatcher=dispatcher,
-        )
-
+    spec = SimulatorSpec(
+        "autoscale",
+        {
+            "policy": policy,
+            "min_replicas": min_replicas,
+            "max_replicas": max_replicas,
+            "control_interval_s": control_interval_s,
+            "warmup_s": warmup_s,
+            "idle_power_w": idle_power_w,
+            "batching": batching,
+            "dispatcher": dispatcher,
+        },
+    )
     return _run_serving_grid(
         system,
         backend_names,
         workloads,
         models,
-        make_simulator,
+        spec,
         duration_s,
         num_requests,
         seed,
+        jobs=jobs,
+        progress=progress,
     )
 
 
@@ -335,6 +416,8 @@ def chaos_grid(
     batching: Optional[BatchingPolicy] = None,
     dispatcher: Optional[Dispatcher] = None,
     seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ServingExperimentResult:
     """Evaluate a backends x workloads grid under a fault schedule.
 
@@ -351,7 +434,6 @@ def chaos_grid(
     restarting a crashed replica is a provisioning act.
     """
     from repro.chaos.faults import FaultSchedule, parse_fault_schedule
-    from repro.serving.autoscale import AutoscalingCluster
 
     if isinstance(faults, str):
         faults = parse_fault_schedule(faults)
@@ -364,36 +446,32 @@ def chaos_grid(
         for workload in workloads:
             check_workload_support(backend_name, workload)
 
-    def make_simulator(backend_name, backend, model):
-        backend_warmup = (
-            warmup_s
-            if warmup_s is not None
-            else backend_registration(backend_name).capabilities.provision_warmup_s
-        )
-        return AutoscalingCluster(
-            backend,
-            model,
-            policy=policy,
-            min_replicas=min_replicas,
-            max_replicas=max_replicas,
-            initial_replicas=initial_replicas,
-            control_interval_s=control_interval_s,
-            warmup_s=backend_warmup,
-            idle_power_w=idle_power_w,
-            batching=batching,
-            dispatcher=dispatcher,
-        )
-
+    spec = SimulatorSpec(
+        "chaos",
+        {
+            "policy": policy,
+            "min_replicas": min_replicas,
+            "max_replicas": max_replicas,
+            "initial_replicas": initial_replicas,
+            "control_interval_s": control_interval_s,
+            "warmup_s": warmup_s,
+            "idle_power_w": idle_power_w,
+            "batching": batching,
+            "dispatcher": dispatcher,
+        },
+    )
     return _run_serving_grid(
         system,
         backend_names,
         workloads,
         models,
-        make_simulator,
+        spec,
         duration_s,
         num_requests,
         seed,
         serve_kwargs={"faults": faults},
+        jobs=jobs,
+        progress=progress,
     )
 
 
@@ -408,6 +486,8 @@ def serve_grid(
     dispatcher: Optional[Dispatcher] = None,
     replicas: int = 1,
     seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ServingExperimentResult:
     """Evaluate a backends x workloads serving grid.
 
@@ -423,24 +503,19 @@ def serve_grid(
         for workload in workloads:
             check_workload_support(backend_name, workload)
 
-    def make_simulator(backend_name, backend, model):
-        if replicas == 1:
-            return ServingSimulator(backend, model, batching=batching)
-        return ClusterSimulator(
-            backend,
-            model,
-            num_replicas=replicas,
-            batching=batching,
-            dispatcher=dispatcher,
-        )
-
+    spec = SimulatorSpec(
+        "serve",
+        {"replicas": replicas, "batching": batching, "dispatcher": dispatcher},
+    )
     return _run_serving_grid(
         system,
         backend_names,
         workloads,
         models,
-        make_simulator,
+        spec,
         duration_s,
         num_requests,
         seed,
+        jobs=jobs,
+        progress=progress,
     )

@@ -13,9 +13,15 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.registry import get_backend
+from repro.experiment.executor import (
+    GridExecutor,
+    ShardPoint,
+    _run_shard_point,
+    resolve_jobs,
+)
 from repro.config.models import DLRMConfig
 from repro.config.system import SystemConfig
 from repro.errors import SimulationError
@@ -161,14 +167,17 @@ def shard_grid(
     num_requests: Optional[int] = None,
     batching: Optional[BatchingPolicy] = None,
     seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ShardingExperimentResult:
     """Evaluate a backends x workloads x shards x strategy x cache grid.
 
     Plans are built once per (shards, strategy) pair and shared across
     backends and workloads; each grid point serves through its own
     :class:`~repro.serving.sharded.ShardedReplicaGroup` so cache state
-    never leaks between points.  Sharded serving is single-model — pass
-    the one model the grid partitions.
+    never leaks between points — which also makes every point an
+    independent task, so ``jobs > 1`` ships them one per worker and
+    collects reports in serial order (byte-identical at any setting).
     """
     if not workloads:
         raise SimulationError("a sharding grid needs at least one workload")
@@ -206,32 +215,89 @@ def shard_grid(
         for name, strategy in zip(strategy_names, strategies)
     }
 
+    points = [
+        (backend_name, workload, shards, strategy_name, plan, cache)
+        for backend_name in backend_names
+        for workload in workloads
+        for (shards, strategy_name), plan in plans.items()
+        for cache in caches
+    ]
     outcome = ShardingExperimentResult(system)
-    for backend_name in backend_names:
-        backend = get_backend(backend_name, system)
-        for workload in workloads:
-            for (shards, strategy_name), plan in plans.items():
-                for cache in caches:
-                    group = ShardedReplicaGroup(
-                        backend,
-                        model,
-                        plan=plan,
-                        cache=cache,
-                        batching=batching,
-                        system=system,
-                    )
-                    report = group.serve_workload(
-                        workload,
-                        duration_s=duration_s,
-                        num_requests=num_requests,
-                        seed=seed,
-                    )
-                    outcome.add(
-                        backend_name,
-                        workload.name,
-                        shards,
-                        strategy_name,
-                        cache_label(cache),
-                        report,
-                    )
+    total = len(points)
+
+    def emit(done: int, point) -> None:
+        if progress is not None:
+            backend_name, workload, shards, strategy_name, _, cache = point
+            progress(
+                f"[{done}/{total}] {backend_name} {workload.name} "
+                f"x{shards} {strategy_name} cache={cache_label(cache)} served"
+            )
+
+    if resolve_jobs(jobs) == 1:
+        backends: Dict[str, object] = {}
+        for done, point in enumerate(points, 1):
+            backend_name, workload, shards, strategy_name, plan, cache = point
+            backend = backends.get(backend_name)
+            if backend is None:
+                backend = get_backend(backend_name, system)
+                backends[backend_name] = backend
+            group = ShardedReplicaGroup(
+                backend,
+                model,
+                plan=plan,
+                cache=cache,
+                batching=batching,
+                system=system,
+            )
+            report = group.serve_workload(
+                workload,
+                duration_s=duration_s,
+                num_requests=num_requests,
+                seed=seed,
+            )
+            outcome.add(
+                backend_name,
+                workload.name,
+                shards,
+                strategy_name,
+                cache_label(cache),
+                report,
+            )
+            emit(done, point)
+        return outcome
+
+    payloads = [
+        ShardPoint(
+            system=system,
+            backend_name=backend_name,
+            workload=workload,
+            model=model,
+            plan=plan,
+            cache=cache,
+            batching=batching,
+            duration_s=duration_s,
+            num_requests=num_requests,
+            seed=seed,
+        )
+        for backend_name, workload, shards, strategy_name, plan, cache in points
+    ]
+    done = 0
+
+    def on_point(index: int, report) -> None:
+        nonlocal done
+        done += 1
+        emit(done, points[index])
+
+    executor = GridExecutor(jobs)
+    reports = executor.map(_run_shard_point, payloads, on_result=on_point)
+    for point, report in zip(points, reports):
+        backend_name, workload, shards, strategy_name, _, cache = point
+        outcome.add(
+            backend_name,
+            workload.name,
+            shards,
+            strategy_name,
+            cache_label(cache),
+            report,
+        )
     return outcome

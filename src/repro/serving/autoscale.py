@@ -919,7 +919,11 @@ class _AutoscaleController:
         idle_energy = self.cluster.idle_power_w * max(
             replica_seconds - busy_seconds, 0.0
         )
-        reports, latency = self.cluster._collect_reports(self.replicas, label)
+        # A chaos run (shed sink armed) may have crashed the whole fleet
+        # before anything completed; the report must still build.
+        reports, latency = self.cluster._collect_reports(
+            self.replicas, label, allow_empty=self._shed_sink is not None
+        )
         policy = self.cluster.policy
         autoscale = AutoscaleReport(
             policy=policy.name if policy is not None else "static",

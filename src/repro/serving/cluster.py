@@ -285,9 +285,19 @@ class HeterogeneousCluster:
         return replicas[index]
 
     def _collect_reports(
-        self, replicas: Sequence[ReplicaServer], label: str
+        self,
+        replicas: Sequence[ReplicaServer],
+        label: str,
+        *,
+        allow_empty: bool = False,
     ) -> Tuple[List[ServingReport], LatencyDistribution]:
-        """Per-replica reports (replicas that served) + pooled latencies."""
+        """Per-replica reports (replicas that served) + pooled latencies.
+
+        ``allow_empty`` covers chaos runs where the fault schedule killed
+        every replica before anything was served (a total outage sheds
+        the whole stream): the report is then built over zero replicas
+        instead of treating the outage as a configuration error.
+        """
         reports: List[ServingReport] = []
         latencies: List[float] = []
         for replica in replicas:
@@ -296,9 +306,9 @@ class HeterogeneousCluster:
             report = replica.build_report(label)
             reports.append(report)
             latencies.extend(report.latency.samples_s.tolist())
-        if not reports:
+        if not reports and not allow_empty:
             raise SimulationError("no replica received any requests")
-        return reports, LatencyDistribution(latencies)
+        return reports, LatencyDistribution(latencies, allow_empty=allow_empty)
 
     def _build_replicas(
         self, sim: Simulator, extra_models: Sequence[DLRMConfig] = ()

@@ -95,6 +95,10 @@ class CapacityPlanner:
         dispatcher: Dispatcher for every simulated fleet (fresh default:
             round-robin).
         seed: Workload stream seed shared by every evaluation.
+        jobs: Worker processes for :meth:`plan` — backends search in
+            parallel, each backend's exponential+binary search stays
+            sequential (every probe depends on the previous verdict).
+            ``1`` = serial, ``0`` = one worker per CPU.
     """
 
     def __init__(
@@ -106,7 +110,10 @@ class CapacityPlanner:
         batching: Optional[BatchingPolicy] = None,
         dispatcher: Optional[Dispatcher] = None,
         seed: int = 0,
+        jobs: int = 1,
     ):
+        from repro.experiment.executor import resolve_jobs
+
         if sla_s <= 0:
             raise SimulationError(f"sla_s must be positive, got {sla_s}")
         if not 0.0 < target_attainment <= 1.0:
@@ -115,6 +122,7 @@ class CapacityPlanner:
             )
         if max_replicas <= 0:
             raise SimulationError(f"max_replicas must be positive, got {max_replicas}")
+        resolve_jobs(jobs)  # validate eagerly; keep the raw setting
         self.system = system
         self.sla_s = sla_s
         self.target_attainment = target_attainment
@@ -122,6 +130,7 @@ class CapacityPlanner:
         self.batching = batching
         self.dispatcher = dispatcher
         self.seed = seed
+        self.jobs = int(jobs)
 
     # ------------------------------------------------------------------
     def _evaluate(
@@ -218,16 +227,53 @@ class CapacityPlanner:
         duration_s: Optional[float] = None,
         num_requests: Optional[int] = None,
     ) -> CapacityPlan:
-        """Minimal fleets for every backend (default: all registered)."""
+        """Minimal fleets for every backend (default: all registered).
+
+        With ``jobs > 1`` the per-backend searches run in worker
+        processes; plans are deterministic either way, so the answer is
+        identical at any setting.
+        """
+        from repro.experiment.executor import (
+            GridExecutor,
+            PlanBackendTask,
+            _run_plan_backend,
+            resolve_jobs,
+        )
+
         if (duration_s is None) == (num_requests is None):
             raise SimulationError("provide exactly one of duration_s or num_requests")
         names = tuple(backends) if backends else available_backends()
-        points = tuple(
-            self.plan_backend(
-                name, model, workload, duration_s=duration_s, num_requests=num_requests
+        if resolve_jobs(self.jobs) == 1 or len(names) == 1:
+            points = tuple(
+                self.plan_backend(
+                    name,
+                    model,
+                    workload,
+                    duration_s=duration_s,
+                    num_requests=num_requests,
+                )
+                for name in names
             )
-            for name in names
-        )
+        else:
+            tasks = [
+                PlanBackendTask(
+                    system=self.system,
+                    sla_s=self.sla_s,
+                    target_attainment=self.target_attainment,
+                    max_replicas=self.max_replicas,
+                    batching=self.batching,
+                    dispatcher=self.dispatcher,
+                    seed=self.seed,
+                    backend_name=name,
+                    model=model,
+                    workload=workload,
+                    duration_s=duration_s,
+                    num_requests=num_requests,
+                )
+                for name in names
+            ]
+            executor = GridExecutor(self.jobs)
+            points = tuple(executor.map(_run_plan_backend, tasks))
         return CapacityPlan(
             workload_name=workload.name,
             model_name=model.name,

@@ -234,6 +234,28 @@ class ShardedReplicaServer(ReplicaServer):
         """Scale cross-shard transfer time (link degradation window)."""
         self._link_slowdown = factor
 
+    def price_refill(self, resident_rows: int) -> Tuple[float, float]:
+        """Price re-warming ``resident_rows`` cache rows after a restart.
+
+        A restored shard comes back with a cold hot-row cache; every row
+        the old cache held will be re-gathered from host memory before the
+        cache is warm again.  That traffic is priced through the backend's
+        own EMB cost model — per-lookup gather seconds derived from the
+        default model's batch-1 result — so refill cost is comparable to
+        the serving numbers on the same backend.  Returns
+        ``(refill_seconds, refill_joules)``.
+        """
+        if resident_rows <= 0:
+            return 0.0, 0.0
+        model = self.service.model_for(None)
+        lookups = sum(table.gathers for table in model.tables)
+        if lookups <= 0:
+            return 0.0, 0.0
+        base = self.service.result(1, None)
+        emb_s = base.breakdown.get("EMB")
+        refill_s = (emb_s / lookups) * resident_rows
+        return refill_s, refill_s * base.power_watts
+
     def _remap_owners(self, owners: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Re-route lookups owned by lost shards to survivors."""
         owners = owners.copy()

@@ -97,6 +97,27 @@ class TestCrashIncidents:
         assert incident.shed_requests == outcome.shed
         assert incident.cleared
 
+    def test_permanent_total_outage_still_builds_a_report(self):
+        # Every replica dies before anything completes and nothing ever
+        # restarts: the whole stream sheds and the report must still
+        # build (an all-shed run is a measured outcome, not a crash).
+        cluster, report = serve(
+            FaultSchedule(
+                [
+                    ReplicaCrash(at_s=0.001),
+                    ReplicaCrash(at_s=0.001),
+                ]
+            ),
+            replicas=2,
+        )
+        outcome = cluster.last_outcome
+        assert outcome.completed == 0
+        assert outcome.shed == NUM_REQUESTS
+        assert report.completed_requests == 0
+        assert len(report.latency.samples_s) == 0
+        assert len(report.per_replica) == 0
+        assert report.incidents.total_shed == NUM_REQUESTS
+
     def test_crashing_a_stopped_slot_is_a_noop_incident(self):
         _, report = serve(
             FaultSchedule([ReplicaCrash(at_s=0.01, replica=3)]),

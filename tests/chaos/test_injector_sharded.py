@@ -84,6 +84,59 @@ class TestShardLoss:
         # swap inherits counters) and the cache stack still serving.
         assert report.sharding.cache.accesses > 0
 
+    def test_cold_restore_prices_the_cache_refill(self):
+        _, report = serve(
+            FaultSchedule([ShardLoss(at_s=0.005, shard=0, restore_after_s=0.005)]),
+            cache="lru:rows=2048",
+        )
+        (incident,) = report.incidents.incidents
+        # Every row resident in the outgoing cache must be re-gathered
+        # before the restored shard is warm again; that traffic is priced
+        # through the backend's EMB cost model.
+        assert 0 < incident.refill_rows <= 2_048
+        assert incident.refill_s > 0.0
+        assert incident.refill_energy_joules > incident.refill_s  # power > 1 W
+        assert report.incidents.total_refill_rows == incident.refill_rows
+        assert report.incidents.total_refill_s == incident.refill_s
+        assert (
+            report.incidents.total_refill_energy_joules
+            == incident.refill_energy_joules
+        )
+
+    def test_restore_without_a_cache_has_nothing_to_refill(self):
+        _, report = serve(
+            FaultSchedule([ShardLoss(at_s=0.005, shard=0, restore_after_s=0.005)])
+        )
+        (incident,) = report.incidents.incidents
+        assert incident.refill_rows == 0
+        assert incident.refill_s == 0.0
+        assert report.incidents.total_refill_rows == 0
+
+    def test_price_refill_scales_with_resident_rows(self):
+        import numpy as np
+
+        from repro.serving.replica import ServiceModel
+        from repro.serving.sharded import ShardedReplicaServer
+        from repro.sharding.plan import make_plan
+        from repro.sim.engine import Simulator
+
+        backend = get_backend("centaur", HARPV2_SYSTEM)
+        server = ShardedReplicaServer(
+            Simulator(),
+            ServiceModel(backend, DLRM2),
+            BATCHING,
+            plan=make_plan(DLRM2, 4, "table"),
+            link=None,
+            trace_model=None,
+            trace_rng=np.random.default_rng(0),
+        )
+        assert server.price_refill(0) == (0.0, 0.0)
+        one_s, one_j = server.price_refill(1)
+        many_s, many_j = server.price_refill(1_000)
+        assert one_s > 0.0 and one_j > 0.0
+        assert many_s == pytest.approx(1_000 * one_s)
+        assert many_j == pytest.approx(1_000 * one_j)
+
     def test_losing_every_shard_is_rejected_mid_run(self):
         schedule = FaultSchedule(
             [ShardLoss(at_s=0.004, shard=0), ShardLoss(at_s=0.006, shard=1)]
