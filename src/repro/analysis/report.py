@@ -385,6 +385,15 @@ def render_profile(profile, title: str = "Engine profile") -> str:
     return table.render()
 
 
+def _sharding_row_label(key) -> str:
+    """Row label of one sharding-grid key; hides the updates axis when off."""
+    backend, workload, shards, strategy, cache, updates = key
+    label = f"{backend} | {workload} | x{shards} {strategy} | cache {cache}"
+    if updates != "off":
+        label += f" | updates {updates}"
+    return label
+
+
 def render_sharding_report(
     reports,
     sla_s: float = 5e-3,
@@ -403,8 +412,7 @@ def render_sharding_report(
         rows = [(label, report) for label, report in reports.items()]
     else:
         rows = [
-            (f"{backend} | {workload} | x{shards} {strategy} | cache {cache}", report)
-            for (backend, workload, shards, strategy, cache), report in reports
+            (_sharding_row_label(key), report) for key, report in reports
         ]
     table = TextTable(
         [
@@ -433,6 +441,62 @@ def render_sharding_report(
                 (sharding.cross_shard_bytes if sharding else 0.0) / 1e6,
                 (sharding.mean_gather_s if sharding else 0.0) * 1e6,
                 p50 * 1e3,
+                p99 * 1e3,
+                100.0 * latency.sla_attainment(sla_s),
+            ]
+        )
+    return table.render()
+
+
+def render_freshness_report(
+    reports,
+    sla_s: float = 5e-3,
+    title: str = "Cache freshness under embedding updates",
+) -> str:
+    """Render freshness outcomes: pushes, per-cause evictions, staleness.
+
+    Args:
+        reports: A :class:`~repro.experiment.sharding.ShardingExperimentResult`
+            or a ``{row label: ClusterReport}`` mapping whose reports carry
+            :class:`~repro.serving.sharded.ShardingStats`.
+        sla_s: Latency budget used for the SLA-attainment column.
+        title: Table title.
+    """
+    if hasattr(reports, "items"):
+        rows = [(label, report) for label, report in reports.items()]
+    else:
+        rows = [
+            (_sharding_row_label(key), report) for key, report in reports
+        ]
+    table = TextTable(
+        [
+            "configuration",
+            "mode",
+            "pushes",
+            "rows pushed",
+            "invalidated",
+            "refreshed",
+            "stale hit %",
+            "hit rate %",
+            "p99 (ms)",
+            f"SLA<{sla_s * 1e3:.0f}ms %",
+        ],
+        title=title,
+    )
+    for label, report in rows:
+        sharding = report.sharding
+        latency = report.latency
+        (p99,) = latency.percentiles((99.0,))
+        table.add_row(
+            [
+                label,
+                (sharding.update_mode if sharding else None) or "-",
+                sharding.update_events if sharding else 0,
+                sharding.update_rows if sharding else 0,
+                sharding.update_invalidations if sharding else 0,
+                sharding.update_refreshes if sharding else 0,
+                100.0 * (sharding.stale_hit_rate if sharding else 0.0),
+                100.0 * (sharding.hit_rate if sharding else 0.0),
                 p99 * 1e3,
                 100.0 * latency.sla_attainment(sla_s),
             ]

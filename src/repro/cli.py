@@ -144,7 +144,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_workload_catalog
-    from repro.workloads.catalog import SCENARIO_CATALOG
+    from repro.workloads.catalog import SCENARIO_CATALOG, UPDATE_SCENARIO_CATALOG
 
     print(render_workload_catalog())
     scenarios = TextTable(
@@ -155,10 +155,19 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
         scenarios.add_row([entry.name, entry.summary, entry.fault_spec])
     print()
     print(scenarios.render())
+    pushes = TextTable(
+        ["name", "summary", "update spec"],
+        title="Workload catalog: update scenarios",
+    )
+    for entry in UPDATE_SCENARIO_CATALOG.values():
+        pushes.add_row([entry.name, entry.summary, entry.update_spec])
+    print()
+    print(pushes.render())
     print(
         "\nCompose specs with `repro serve --workload <arrival spec> "
         "--trace <trace spec>`; add `--faults <scenario|spec>` for a "
-        "resilience drill."
+        "resilience drill or `--updates <scenario|spec>` for an "
+        "embedding-push stream."
     )
     return 0
 
@@ -177,9 +186,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.simulator import ServingSimulator
     from repro.workloads.catalog import (
         SCENARIO_CATALOG,
+        UPDATE_SCENARIO_CATALOG,
         parse_arrival_spec,
         parse_trace_spec,
         resolve_fault_spec,
+        resolve_update_spec,
     )
     from repro.workloads.workload import Workload
 
@@ -218,11 +229,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shard_strategy is not None:
         shard_strategy = args.shard_strategy
     cache_config = parse_cache_spec(args.cache)
-    sharded = num_shards > 1 or cache_config is not None
+    updates = resolve_update_spec(args.updates)
+    update_scenario = (
+        UPDATE_SCENARIO_CATALOG.get(args.updates.strip().lower())
+        if args.updates is not None
+        else None
+    )
+    if update_scenario is not None:
+        print(f"update scenario '{update_scenario.name}': {update_scenario.summary}")
+    shared_cache_config = parse_cache_spec(args.shared_cache)
+    sharded = (
+        num_shards > 1
+        or cache_config is not None
+        or updates is not None
+        or shared_cache_config is not None
+    )
     if sharded and (args.autoscale is not None or args.replicas > 1):
         print(
-            "error: --shards/--cache serve one sharded group; drop "
-            "--autoscale/--replicas",
+            "error: --shards/--cache/--updates/--shared-cache serve one "
+            "sharded group; drop --autoscale/--replicas",
             file=sys.stderr,
         )
         return 2
@@ -242,6 +267,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             system=HARPV2_SYSTEM,
             queue=args.queue,
             profile=args.profile,
+            updates=updates,
+            shared_cache=shared_cache_config,
         )
         report = group.serve_workload(
             workload,
@@ -265,6 +292,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 title=f"Sharded serving of {model.name} under {workload.name}",
             )
         )
+        if updates is not None or shared_cache_config is not None:
+            from repro.analysis.report import render_freshness_report
+
+            print()
+            print(
+                render_freshness_report(
+                    {label: report},
+                    sla_s=args.sla,
+                    title=f"Cache freshness of {model.name} under {workload.name}",
+                )
+            )
         if report.incidents is not None:
             print()
             print(render_incident_timeline(report))
@@ -550,6 +588,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "hot-row cache in front of every shard's gather, e.g. "
             "lru:rows=4096 or lfu:bytes=1048576 (default off)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--updates",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "embedding update stream pushed into serving: a named scenario "
+            "from list-workloads (e.g. model-push-storm) or "
+            "MODE:rate=R,rows=K[,trace=zipf:1.05] with MODE one of "
+            "invalidate / write-through / ignore (default off)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shared-cache",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "shared second cache tier across shards, priced over the "
+            "system link; same spec grammar as --cache (default off)"
         ),
     )
     serve_parser.add_argument(

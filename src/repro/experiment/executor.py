@@ -278,6 +278,7 @@ class ShardPoint:
     duration_s: Optional[float]
     num_requests: Optional[int]
     seed: int
+    updates: object = None  # Optional[UpdateProcess]
 
 
 def _run_shard_point(point: ShardPoint):
@@ -291,6 +292,7 @@ def _run_shard_point(point: ShardPoint):
         cache=point.cache,
         batching=point.batching,
         system=point.system,
+        updates=point.updates,
     )
     return group.serve_workload(
         point.workload,

@@ -663,13 +663,14 @@ class Experiment:
         shard_counts=(1, 2, 4),
         strategies=("table",),
         caches=(None,),
+        updates=(None,),
         model: Optional[DLRMConfig] = None,
         duration_s: Optional[float] = None,
         num_requests: Optional[int] = None,
         batching=None,
         seed: int = 0,
     ):
-        """Run the sharded-serving grid: shards x strategy x cache size.
+        """Run the sharded-serving grid: shards x strategy x cache x updates.
 
         Every (backend, workload) point is served by a
         :class:`~repro.serving.sharded.ShardedReplicaGroup` at each shard
@@ -701,6 +702,7 @@ class Experiment:
             shard_counts=shard_counts,
             strategies=strategies,
             caches=caches,
+            updates=updates,
             duration_s=duration_s,
             num_requests=num_requests,
             batching=batching,

@@ -31,18 +31,28 @@ from repro.serving.cluster import ClusterReport
 from repro.serving.sharded import ShardedReplicaGroup
 from repro.sharding.cache import CacheConfig
 from repro.sharding.plan import STRATEGIES, ShardingStrategy, make_plan
+from repro.workloads.updates import UpdateProcess
 from repro.workloads.workload import Workload
 
-#: Key identifying one sharded point: backend, workload, shards, strategy, cache.
-ShardingKey = Tuple[str, str, int, str, str]
+#: Key identifying one sharded point:
+#: backend, workload, shards, strategy, cache, updates.
+ShardingKey = Tuple[str, str, int, str, str, str]
 
 #: Label used for the cache-off column of grids and reports.
 CACHE_OFF = "off"
+
+#: Label used for the no-update-stream column of grids and reports.
+UPDATES_OFF = "off"
 
 
 def cache_label(cache: Optional[CacheConfig]) -> str:
     """Stable axis label of one cache configuration (``"off"`` for none)."""
     return CACHE_OFF if cache is None else cache.describe()
+
+
+def update_label(updates: Optional[UpdateProcess]) -> str:
+    """Stable axis label of one update stream (``"off"`` for none)."""
+    return UPDATES_OFF if updates is None else updates.label()
 
 
 class ShardingExperimentResult:
@@ -61,8 +71,9 @@ class ShardingExperimentResult:
         strategy: str,
         cache: str,
         report: ClusterReport,
+        updates: str = UPDATES_OFF,
     ) -> None:
-        self._reports[(backend, workload, shards, strategy, cache)] = report
+        self._reports[(backend, workload, shards, strategy, cache, updates)] = report
 
     def get(
         self,
@@ -71,8 +82,9 @@ class ShardingExperimentResult:
         shards: int,
         strategy: str = "table",
         cache: str = CACHE_OFF,
+        updates: str = UPDATES_OFF,
     ) -> ClusterReport:
-        key = (backend, workload, int(shards), strategy, cache)
+        key = (backend, workload, int(shards), strategy, cache, updates)
         if key not in self._reports:
             raise KeyError(f"no sharding result for {key}")
         return self._reports[key]
@@ -84,10 +96,11 @@ class ShardingExperimentResult:
         shards: Optional[int] = None,
         strategy: Optional[str] = None,
         cache: Optional[str] = None,
+        updates: Optional[str] = None,
     ) -> List[ClusterReport]:
         """All reports matching the given coordinates, in insertion order."""
         matches = []
-        for (b, w, s, st, c), report in self._reports.items():
+        for (b, w, s, st, c, u), report in self._reports.items():
             if backend is not None and b != backend:
                 continue
             if workload is not None and w != workload:
@@ -98,11 +111,13 @@ class ShardingExperimentResult:
                 continue
             if cache is not None and c != cache:
                 continue
+            if updates is not None and u != updates:
+                continue
             matches.append(report)
         return matches
 
     def shard_counts(self) -> List[int]:
-        return sorted({shards for _, _, shards, _, _ in self._reports})
+        return sorted({shards for _, _, shards, _, _, _ in self._reports})
 
     def __len__(self) -> int:
         return len(self._reports)
@@ -122,6 +137,7 @@ class ShardingExperimentResult:
                 "shards",
                 "strategy",
                 "cache",
+                "updates",
                 "completed_requests",
                 "p50_ms",
                 "p99_ms",
@@ -130,9 +146,19 @@ class ShardingExperimentResult:
                 "lookup_imbalance",
                 "cross_shard_mb",
                 "mean_gather_us",
+                "update_invalidations",
+                "update_refreshes",
+                "stale_hits",
             ]
         )
-        for (backend, workload, shards, strategy, cache), report in self._reports.items():
+        for (
+            backend,
+            workload,
+            shards,
+            strategy,
+            cache,
+            updates,
+        ), report in self._reports.items():
             latency = report.latency
             sharding = report.sharding
             writer.writerow(
@@ -142,6 +168,7 @@ class ShardingExperimentResult:
                     shards,
                     strategy,
                     cache,
+                    updates,
                     report.completed_requests,
                     repr(latency.p50_s * 1e3),
                     repr(latency.p99_s * 1e3),
@@ -150,6 +177,9 @@ class ShardingExperimentResult:
                     repr(sharding.lookup_imbalance if sharding else 1.0),
                     repr((sharding.cross_shard_bytes if sharding else 0.0) / 1e6),
                     repr((sharding.mean_gather_s if sharding else 0.0) * 1e6),
+                    sharding.update_invalidations if sharding else 0,
+                    sharding.update_refreshes if sharding else 0,
+                    sharding.stale_hits if sharding else 0,
                 ]
             )
         return buffer.getvalue()
@@ -163,6 +193,7 @@ def shard_grid(
     shard_counts: Sequence[int] = (1, 2, 4),
     strategies: Sequence[Union[str, ShardingStrategy]] = ("table",),
     caches: Sequence[Optional[CacheConfig]] = (None,),
+    updates: Sequence[Optional[UpdateProcess]] = (None,),
     duration_s: Optional[float] = None,
     num_requests: Optional[int] = None,
     batching: Optional[BatchingPolicy] = None,
@@ -170,7 +201,7 @@ def shard_grid(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ShardingExperimentResult:
-    """Evaluate a backends x workloads x shards x strategy x cache grid.
+    """Evaluate a backends x workloads x shards x strategy x cache x updates grid.
 
     Plans are built once per (shards, strategy) pair and shared across
     backends and workloads; each grid point serves through its own
@@ -178,6 +209,8 @@ def shard_grid(
     never leaks between points — which also makes every point an
     independent task, so ``jobs > 1`` ships them one per worker and
     collects reports in serial order (byte-identical at any setting).
+    The ``updates`` axis sweeps embedding-push streams (``None`` = the
+    read-only path); labels must be distinct per point.
     """
     if not workloads:
         raise SimulationError("a sharding grid needs at least one workload")
@@ -187,6 +220,16 @@ def shard_grid(
         raise SimulationError("a sharding grid needs at least one strategy")
     if not caches:
         caches = (None,)
+    if not updates:
+        updates = (None,)
+    update_labels = [update_label(update) for update in updates]
+    if len(set(update_labels)) != len(update_labels):
+        # Points are keyed by update *label*; two streams sharing one
+        # (e.g. equal rate/rows with different traces) would silently
+        # collapse onto a single point — name them to disambiguate.
+        raise SimulationError(
+            f"update streams must have distinct labels, got {update_labels}"
+        )
     for backend_name in backend_names:
         check_sharding_support(backend_name)
         for workload in workloads:
@@ -216,27 +259,29 @@ def shard_grid(
     }
 
     points = [
-        (backend_name, workload, shards, strategy_name, plan, cache)
+        (backend_name, workload, shards, strategy_name, plan, cache, update)
         for backend_name in backend_names
         for workload in workloads
         for (shards, strategy_name), plan in plans.items()
         for cache in caches
+        for update in updates
     ]
     outcome = ShardingExperimentResult(system)
     total = len(points)
 
     def emit(done: int, point) -> None:
         if progress is not None:
-            backend_name, workload, shards, strategy_name, _, cache = point
+            backend_name, workload, shards, strategy_name, _, cache, update = point
             progress(
                 f"[{done}/{total}] {backend_name} {workload.name} "
-                f"x{shards} {strategy_name} cache={cache_label(cache)} served"
+                f"x{shards} {strategy_name} cache={cache_label(cache)} "
+                f"updates={update_label(update)} served"
             )
 
     if resolve_jobs(jobs) == 1:
         backends: Dict[str, object] = {}
         for done, point in enumerate(points, 1):
-            backend_name, workload, shards, strategy_name, plan, cache = point
+            backend_name, workload, shards, strategy_name, plan, cache, update = point
             backend = backends.get(backend_name)
             if backend is None:
                 backend = get_backend(backend_name, system)
@@ -248,6 +293,7 @@ def shard_grid(
                 cache=cache,
                 batching=batching,
                 system=system,
+                updates=update,
             )
             report = group.serve_workload(
                 workload,
@@ -262,6 +308,7 @@ def shard_grid(
                 strategy_name,
                 cache_label(cache),
                 report,
+                updates=update_label(update),
             )
             emit(done, point)
         return outcome
@@ -278,8 +325,9 @@ def shard_grid(
             duration_s=duration_s,
             num_requests=num_requests,
             seed=seed,
+            updates=update,
         )
-        for backend_name, workload, shards, strategy_name, plan, cache in points
+        for backend_name, workload, shards, strategy_name, plan, cache, update in points
     ]
     done = 0
 
@@ -291,7 +339,7 @@ def shard_grid(
     executor = GridExecutor(jobs)
     reports = executor.map(_run_shard_point, payloads, on_result=on_point)
     for point, report in zip(points, reports):
-        backend_name, workload, shards, strategy_name, _, cache = point
+        backend_name, workload, shards, strategy_name, _, cache, update = point
         outcome.add(
             backend_name,
             workload.name,
@@ -299,5 +347,6 @@ def shard_grid(
             strategy_name,
             cache_label(cache),
             report,
+            updates=update_label(update),
         )
     return outcome

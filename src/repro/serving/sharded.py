@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 import numpy as np
 
 from repro.backends.registry import resolve_backend
-from repro.config.models import DLRMConfig
+from repro.config.models import DTYPE_BYTES, DLRMConfig
 from repro.config.system import SystemConfig
 from repro.core.link import ChipletLink
 from repro.errors import SimulationError
@@ -68,6 +68,7 @@ from repro.sim.engine import QueueSpec, Simulator
 from repro.sim.profile import SimProfile
 from repro.workloads.arrivals import InferenceRequest
 from repro.workloads.traces import TraceModel, UniformTrace
+from repro.workloads.updates import EmbeddingUpdate, UpdateProcess
 from repro.workloads.workload import Workload
 
 
@@ -115,10 +116,40 @@ class ShardingStats:
     degraded_lookups: int = 0
     #: Lookups served by the replica copy under promote failover.
     promoted_lookups: int = 0
+    # ------------------------------------------------------------------
+    # Freshness accounting (all zero/None on read-only runs, keeping the
+    # zero-update path's record bit-identical modulo these defaults).
+    #: Freshness mode of the update stream (``None`` without updates).
+    update_mode: Optional[str] = None
+    #: Embedding pushes applied over the run.
+    update_events: int = 0
+    #: Rows those pushes rewrote (before cache routing).
+    update_rows: int = 0
+    #: Cached rows dropped by invalidation pushes, summed over tiers.
+    update_invalidations: int = 0
+    #: Cached rows refreshed in place by write-through pushes.
+    update_refreshes: int = 0
+    #: Hits served from rows updated behind the cache (``"ignore"`` mode).
+    stale_hits: int = 0
+    #: Gather seconds spent applying write-through refreshes, summed.
+    update_apply_s_total: float = 0.0
+    #: Hit/miss counters of the shared second tier (``None`` when off).
+    shared_cache: Optional[CacheStats] = None
+    #: Misses the shared tier absorbed before the host gather.
+    shared_hits: int = 0
+    #: Link seconds spent fetching those shared-tier lines.
+    shared_transfer_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         return self.cache.hit_rate
+
+    @property
+    def stale_hit_rate(self) -> float:
+        """Share of cache hits that served rows a push had updated."""
+        if self.cache.hits == 0:
+            return 0.0
+        return self.stale_hits / self.cache.hits
 
     @property
     def mean_gather_s(self) -> float:
@@ -151,6 +182,9 @@ class _ShardingAccounting:
         self.cross_shard_transfer_s = 0.0
         self.gather_s_total = 0.0
         self.batches = 0
+        self.update_apply_s_total = 0.0
+        self.shared_hits = 0
+        self.shared_transfer_s = 0.0
 
 
 class ShardedReplicaServer(ReplicaServer):
@@ -174,6 +208,8 @@ class ShardedReplicaServer(ReplicaServer):
         trace_model: TraceModel,
         trace_rng: np.random.Generator,
         caches: Optional[List[EmbeddingCache]] = None,
+        shared_cache: Optional[EmbeddingCache] = None,
+        update_mode: Optional[str] = None,
         name: str = "sharded-group",
     ):
         super().__init__(sim, service, batching, name=name)
@@ -182,7 +218,15 @@ class ShardedReplicaServer(ReplicaServer):
         self.trace_model = trace_model
         self.trace_rng = trace_rng
         self.caches = caches
+        self.shared_cache = shared_cache
         self.accounting = _ShardingAccounting(plan.num_shards)
+        # Freshness state (all inert on read-only runs).
+        self.update_mode = update_mode
+        self.update_events = 0
+        self.update_rows = 0
+        self._updates_active = False
+        self._pending_update_s = np.zeros(plan.num_shards)
+        self._row_cost_s: Optional[float] = None
         # Fault-injection state (all inert on fault-free runs).
         self._lost_shards: Dict[int, str] = {}
         self._link_slowdown = 1.0
@@ -227,6 +271,9 @@ class ShardedReplicaServer(ReplicaServer):
             cold = self.caches[shard]
             fresh_cache.stats = cold.stats
             fresh_cache.evictions = cold.evictions
+            fresh_cache.update_evictions = cold.update_evictions
+            fresh_cache.update_refreshes = cold.update_refreshes
+            fresh_cache.stale_hits = cold.stale_hits
             self.caches[shard] = fresh_cache
         return True
 
@@ -252,7 +299,12 @@ class ShardedReplicaServer(ReplicaServer):
         if lookups <= 0:
             return 0.0, 0.0
         base = self.service.result(1, None)
-        emb_s = base.breakdown.get("EMB")
+        # Duck-typed runners may hand back a plain-dict breakdown whose
+        # .get("EMB") is None; dense-only breakdowns price a refill at
+        # zero rather than crashing on the division below.
+        emb_s = base.breakdown.get("EMB") or 0.0
+        if emb_s <= 0.0:
+            return 0.0, 0.0
         refill_s = (emb_s / lookups) * resident_rows
         return refill_s, refill_s * base.power_watts
 
@@ -281,12 +333,64 @@ class ShardedReplicaServer(ReplicaServer):
         return owners
 
     # ------------------------------------------------------------------
+    # Freshness hooks (driven by the update-stream event driver)
+    # ------------------------------------------------------------------
+    def _row_gather_s(self) -> float:
+        """Per-lookup host-gather seconds of the backend's EMB cost model."""
+        if self._row_cost_s is None:
+            model = self.service.model_for(None)
+            lookups = sum(table.gathers for table in model.tables)
+            emb_s = self.service.result(1, None).breakdown.get("EMB") or 0.0
+            self._row_cost_s = (
+                emb_s / lookups if lookups > 0 and emb_s > 0.0 else 0.0
+            )
+        return self._row_cost_s
+
+    def apply_update(self, update: EmbeddingUpdate) -> None:
+        """Apply one embedding push to every cache tier at the current time.
+
+        Rows route through the plan exactly like lookups do (pushes land
+        on the owning shard's cache).  Write-through refreshes accrue the
+        backend's per-row gather cost against the owning shard; the next
+        executed batch pays it inside the straggler gate, modelling the
+        refresh competing with reads for the shard's gather bandwidth.
+        """
+        self._updates_active = True
+        self.update_events += 1
+        rows = np.asarray(update.rows, dtype=np.int64)
+        self.update_rows += int(rows.size)
+        mode = self.update_mode or "invalidate"
+        if self.caches is not None and rows.size:
+            owners = self.plan.owner_of(update.table_index, rows)
+            counts = np.bincount(owners, minlength=self.plan.num_shards)
+            order = np.argsort(owners, kind="stable")
+            sorted_rows = rows[order]
+            ends = np.cumsum(counts)
+            for shard in np.nonzero(counts)[0]:
+                shard_rows = sorted_rows[ends[shard] - counts[shard] : ends[shard]]
+                affected = self.caches[shard].apply_update(
+                    update.table_index, shard_rows, mode
+                )
+                if mode == "write-through" and affected:
+                    apply_s = affected * self._row_gather_s()
+                    self._pending_update_s[int(shard)] += apply_s
+                    self.accounting.update_apply_s_total += apply_s
+        if self.shared_cache is not None and rows.size:
+            # The shared tier is refreshed by the push pipeline itself, so
+            # its write-through refreshes cost no serving-side gather time.
+            self.shared_cache.apply_update(update.table_index, rows, mode)
+
+    # ------------------------------------------------------------------
     def _execute_result(self, batch_size: int, model_name) -> InferenceResult:
         base = self.service.result(batch_size, model_name)
         accounting = self.accounting
         accounting.batches += 1
         model = self.service.model_for(model_name)
-        if self.plan.num_shards == 1 and self.caches is None:
+        if (
+            self.plan.num_shards == 1
+            and self.caches is None
+            and self.shared_cache is None
+        ):
             # Degenerate group: one shard owns everything and no cache
             # intercepts, so the unsharded result is returned *untouched*
             # (bit-identical to the plain cluster path).
@@ -306,6 +410,8 @@ class ShardedReplicaServer(ReplicaServer):
         owned = np.zeros(num_shards, dtype=np.int64)
         gathered = np.zeros(num_shards, dtype=np.int64)
         contributed_tables = np.zeros(num_shards, dtype=np.int64)
+        shared = self.shared_cache
+        shared_lines = np.zeros(num_shards, dtype=np.int64) if shared is not None else None
         for table_index, table in enumerate(model.tables):
             count = batch_size * table.gathers
             if count == 0:
@@ -319,7 +425,7 @@ class ShardedReplicaServer(ReplicaServer):
             counts = np.bincount(owners, minlength=num_shards)
             owned += counts
             contributed_tables += counts > 0
-            if self.caches is None:
+            if self.caches is None and shared is None:
                 gathered += counts
                 continue
             # One stable argsort groups each shard's rows contiguously in
@@ -330,26 +436,58 @@ class ShardedReplicaServer(ReplicaServer):
             ends = np.cumsum(counts)
             for shard in np.nonzero(counts)[0]:
                 shard_rows = sorted_rows[ends[shard] - counts[shard] : ends[shard]]
-                hits = self.caches[shard].lookup(table_index, shard_rows)
-                gathered[shard] += len(shard_rows) - int(hits.sum())
+                if self.caches is not None:
+                    hits = self.caches[shard].lookup(table_index, shard_rows)
+                    if shared is None:
+                        gathered[shard] += len(shard_rows) - int(hits.sum())
+                        continue
+                    miss_rows = shard_rows[~hits]
+                else:
+                    miss_rows = shard_rows
+                if miss_rows.size:
+                    # Local misses probe the shared tier next; its hits
+                    # are fetched over the link instead of host-gathered.
+                    shared_hits = shared.lookup(table_index, miss_rows)
+                    absorbed = int(shared_hits.sum())
+                    shared_lines[shard] += absorbed
+                    gathered[shard] += miss_rows.size - absorbed
 
         total_lookups = int(owned.sum())
         emb_s = base.breakdown.get("EMB")
-        row_bytes = model.embedding_dim * 4
+        row_bytes = model.embedding_dim * DTYPE_BYTES
+        pending_s = self._pending_update_s if self._updates_active else None
         # The coordinator aggregates; pick the shard with the most owned
         # lookups (ties: lowest index) so the heaviest gather ships nothing.
         coordinator = int(np.argmax(owned)) if total_lookups else 0
         straggler_s = 0.0
         for shard in range(num_shards):
-            if owned[shard] == 0:
+            apply_s = float(pending_s[shard]) if pending_s is not None else 0.0
+            if owned[shard] == 0 and apply_s == 0.0:
                 continue
             gather_s = (
                 emb_s * (float(gathered[shard]) / total_lookups)
                 if total_lookups
                 else 0.0
             )
+            fetch_s = 0.0
+            if shared_lines is not None and shared_lines[shard]:
+                # Shared-tier hits stream over the link at row granularity,
+                # fully pipelined up to the link's outstanding-request cap.
+                estimate = self.link.gather_stream(
+                    int(shared_lines[shard]),
+                    outstanding_requests=self.link.config.max_outstanding_requests,
+                )
+                fetch_s = estimate.latency_s
+                if self._link_slowdown != 1.0:
+                    fetch_s *= self._link_slowdown
+                accounting.shared_hits += int(shared_lines[shard])
+                accounting.shared_transfer_s += fetch_s
             transfer_s = 0.0
-            if shard != coordinator and self.link is not None:
+            if (
+                shard != coordinator
+                and self.link is not None
+                and contributed_tables[shard] > 0
+            ):
                 transfer_bytes = batch_size * int(contributed_tables[shard]) * row_bytes
                 estimate = self.link.bulk_transfer(transfer_bytes)
                 transfer_s = estimate.latency_s
@@ -357,7 +495,10 @@ class ShardedReplicaServer(ReplicaServer):
                     transfer_s *= self._link_slowdown
                 accounting.cross_shard_bytes += transfer_bytes
                 accounting.cross_shard_transfer_s += transfer_s
-            straggler_s = max(straggler_s, gather_s + transfer_s)
+            straggler_s = max(straggler_s, gather_s + fetch_s + transfer_s + apply_s)
+        if pending_s is not None:
+            # Pending write-through refreshes are consumed by this batch.
+            pending_s[:] = 0.0
 
         accounting.owned += owned
         accounting.gathered += gathered
@@ -390,10 +531,20 @@ class ShardedReplicaServer(ReplicaServer):
         accounting = self.accounting
         cache_stats = CacheStats()
         evictions = 0
+        update_invalidations = 0
+        update_refreshes = 0
+        stale_hits = 0
         if self.caches is not None:
             for cache in self.caches:
                 cache_stats = cache_stats.merge(cache.stats)
                 evictions += cache.evictions
+                update_invalidations += cache.update_evictions
+                update_refreshes += cache.update_refreshes
+                stale_hits += cache.stale_hits
+        if self.shared_cache is not None:
+            update_invalidations += self.shared_cache.update_evictions
+            update_refreshes += self.shared_cache.update_refreshes
+            stale_hits += self.shared_cache.stale_hits
         first_cache = self.caches[0] if self.caches else None
         return ShardingStats(
             num_shards=self.plan.num_shards,
@@ -413,7 +564,84 @@ class ShardedReplicaServer(ReplicaServer):
             total_lookups=int(accounting.owned.sum()),
             degraded_lookups=self.degraded_lookups,
             promoted_lookups=self.promoted_lookups,
+            update_mode=self.update_mode,
+            update_events=self.update_events,
+            update_rows=self.update_rows,
+            update_invalidations=update_invalidations,
+            update_refreshes=update_refreshes,
+            stale_hits=stale_hits,
+            update_apply_s_total=accounting.update_apply_s_total,
+            shared_cache=(
+                self.shared_cache.stats if self.shared_cache is not None else None
+            ),
+            shared_hits=accounting.shared_hits,
+            shared_transfer_s=accounting.shared_transfer_s,
         )
+
+
+class _TrackedRequests:
+    """Iterator wrapper exposing ``exhausted`` (True once the source ends).
+
+    Exposing the attribute deliberately flips the stream driver into its
+    unbuffered one-pull-per-event mode, so ``exhausted`` becomes True at
+    the moment the *last arrival fires* in simulated time — the signal the
+    update driver uses to stop pulling pushes from its infinite stream.
+    """
+
+    def __init__(self, requests: Iterable[InferenceRequest]):
+        self._iterator = iter(requests)
+        self.exhausted = False
+
+    def __iter__(self) -> "_TrackedRequests":
+        return self
+
+    def __next__(self) -> InferenceRequest:
+        try:
+            return next(self._iterator)
+        except StopIteration:
+            self.exhausted = True
+            raise
+
+
+class _UpdateDriver:
+    """Feeds an update stream into the engine, one event outstanding.
+
+    Mirrors the request-side stream driver: exactly one ``update:push``
+    event is scheduled at a time, each firing applies the push to the
+    shard group's cache tiers and pulls the next one.  The stream is
+    infinite, so the driver stops pulling once the request stream is
+    exhausted and the group has no work in flight (at most one trailing
+    push fires after the final completion — it finds every batch done and
+    schedules nothing further).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replica: ShardedReplicaServer,
+        updates: Iterable[EmbeddingUpdate],
+        requests: _TrackedRequests,
+    ):
+        self.sim = sim
+        self.replica = replica
+        self.updates = iter(updates)
+        self.requests = requests
+
+    def arm(self) -> None:
+        self._pump()
+
+    def _pump(self) -> None:
+        update = next(self.updates, None)
+        if update is None:  # pragma: no cover - streams are infinite
+            return
+        self.sim.schedule_at(
+            update.time_s, lambda: self._fire(update), label="update:push"
+        )
+
+    def _fire(self, update: EmbeddingUpdate) -> None:
+        self.replica.apply_update(update)
+        if not self.requests.exhausted or self.replica.outstanding > 0:
+            self._pump()
 
 
 class ShardedReplicaGroup:
@@ -439,6 +667,14 @@ class ShardedReplicaGroup:
         queue: Event-queue selector forwarded to the engine.
         profile: Record a per-event-label engine profile for every serve;
             the latest one is exposed as :attr:`last_profile`.
+        updates: Optional :class:`~repro.workloads.updates.UpdateProcess`;
+            its pushes ride the same event engine as arrivals, driving the
+            cache tiers per the process's freshness mode.  ``None`` keeps
+            the read-only path bit-identical.
+        shared_cache: Optional :class:`~repro.sharding.cache.CacheConfig`
+            for a second cache tier shared across every shard; local
+            misses probe it before the host gather, and its hits are
+            priced as row-granularity streams over the system link.
     """
 
     def __init__(
@@ -453,6 +689,8 @@ class ShardedReplicaGroup:
         system: Optional[SystemConfig] = None,
         queue: QueueSpec = "auto",
         profile: bool = False,
+        updates: Optional[UpdateProcess] = None,
+        shared_cache: Optional[CacheConfig] = None,
     ):
         if isinstance(runner, str):
             if system is None:
@@ -474,12 +712,27 @@ class ShardedReplicaGroup:
         if cache is not None and not isinstance(cache, CacheConfig):
             raise SimulationError(f"cache must be a CacheConfig or None, got {cache!r}")
         self.cache_config = cache
+        if shared_cache is not None and not isinstance(shared_cache, CacheConfig):
+            raise SimulationError(
+                f"shared_cache must be a CacheConfig or None, got {shared_cache!r}"
+            )
+        self.shared_cache_config = shared_cache
+        if updates is not None and not isinstance(updates, UpdateProcess):
+            raise SimulationError(
+                f"updates must be an UpdateProcess or None, got {updates!r}"
+            )
+        self.updates = updates
         self.batching = batching if batching is not None else default_batching()
         self.system = system if system is not None else getattr(runner, "system", None)
         if self.plan.num_shards > 1 and self.system is None:
             raise SimulationError(
                 "a multi-shard group needs a system configuration to price "
                 "cross-shard transfers"
+            )
+        if self.shared_cache_config is not None and self.system is None:
+            raise SimulationError(
+                "a shared cache tier needs a system configuration to price "
+                "its link fetches"
             )
         self.queue = queue
         self.profile = profile
@@ -508,6 +761,7 @@ class ShardedReplicaGroup:
         trace_seed: Union[int, np.random.SeedSequence] = 0,
         report_label: Optional[str] = None,
         faults: Optional["FaultSchedule"] = None,
+        update_seed: Union[int, np.random.SeedSequence] = 0,
     ) -> ClusterReport:
         """Serve a request stream through the shard group.
 
@@ -516,7 +770,9 @@ class ShardedReplicaGroup:
         :meth:`serve_workload`, which wires both from the workload.
         ``faults`` injects a :class:`~repro.chaos.faults.FaultSchedule`
         (shard loss, link degradation, brownout); an empty or ``None``
-        schedule takes the fault-free path verbatim.
+        schedule takes the fault-free path verbatim.  ``update_seed``
+        seeds the group's :class:`~repro.workloads.updates.UpdateProcess`
+        push stream (unused when the group has no update stream).
         """
         if isinstance(requests, Sequence) and not requests:
             raise SimulationError("cannot serve an empty request stream")
@@ -529,18 +785,42 @@ class ShardedReplicaGroup:
                 self.cache_config.build(self.model)
                 for _ in range(self.plan.num_shards)
             ]
+        shared_cache = (
+            self.shared_cache_config.build(self.model)
+            if self.shared_cache_config is not None
+            else None
+        )
+        updates = self.updates
         link = ChipletLink(self.system.link) if self.system is not None else None
+        trace_model = trace if trace is not None else UniformTrace()
         replica = ShardedReplicaServer(
             sim,
             service,
             self.batching,
             plan=self.plan,
             link=link,
-            trace_model=trace if trace is not None else UniformTrace(),
+            trace_model=trace_model,
             trace_rng=np.random.default_rng(trace_seed),
             caches=caches,
+            shared_cache=shared_cache,
+            update_mode=updates.mode if updates is not None else None,
             name=f"{self.runner.design_point}:0",
         )
+        if updates is not None:
+            # Pushes and arrivals interleave on one event clock.  The
+            # request stream is wrapped so the update driver can observe
+            # its exhaustion and stop pulling from the infinite push
+            # stream; ``updates is None`` skips all of this, keeping the
+            # read-only path bit-identical.
+            if isinstance(requests, Sequence):
+                requests = sorted(requests, key=lambda request: request.arrival_time_s)
+            requests = _TrackedRequests(requests)
+            _UpdateDriver(
+                sim,
+                replica,
+                updates.events(self.model, seed=update_seed, default_trace=trace_model),
+                requests,
+            ).arm()
         injector = None
         if chaos:
             # Imported lazily: repro.chaos depends on this module's report
@@ -610,7 +890,14 @@ class ShardedReplicaGroup:
                     f"workload mix targets model {mixed.name!r} but the group "
                     f"shards {self.model.name!r}"
                 )
-        _, _, trace_seed = np.random.SeedSequence(seed).spawn(3)
+        if self.updates is not None:
+            # SeedSequence children are keyed by spawn index, so the first
+            # three of spawn(4) equal spawn(3)'s — the trace stream is
+            # untouched and the update stream gets its own child.
+            _, _, trace_seed, update_seed = np.random.SeedSequence(seed).spawn(4)
+        else:
+            _, _, trace_seed = np.random.SeedSequence(seed).spawn(3)
+            update_seed = 0
         return self.serve(
             workload.requests(
                 duration_s=duration_s, num_requests=num_requests, seed=seed
@@ -618,4 +905,5 @@ class ShardedReplicaGroup:
             trace=workload.trace,
             trace_seed=trace_seed,
             faults=faults,
+            update_seed=update_seed,
         )

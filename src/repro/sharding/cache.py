@@ -73,7 +73,10 @@ class CacheConfig:
         """Capacity in rows against a concrete model's row size."""
         if self.capacity_rows is not None:
             return int(self.capacity_rows)
-        row_bytes = model.embedding_dim * 4
+        # Size against the model's own DTYPE_BYTES-derived row size (the
+        # widest table, so heterogeneous-dim models are sized
+        # conservatively) rather than assuming a 4-byte dtype here.
+        row_bytes = max(table.row_bytes for table in model.tables)
         rows = int(self.capacity_bytes) // row_bytes
         if rows <= 0:
             raise ConfigurationError(
@@ -124,7 +127,17 @@ class EmbeddingCache:
         self.policy = policy
         self.seed = seed
         self.stats = CacheStats()
+        #: Rows evicted to make room (capacity pressure only — update
+        #: invalidations are counted separately in ``update_evictions``).
         self.evictions = 0
+        #: Rows dropped because an embedding push invalidated them.
+        self.update_evictions = 0
+        #: Resident rows refreshed in place by write-through pushes.
+        self.update_refreshes = 0
+        #: Hits served from rows a push updated behind the cache
+        #: (``mode="ignore"`` staleness accounting).
+        self.stale_hits = 0
+        self._stale: set = set()
         self._tick = 0
         # LRU state: insertion/recency-ordered keys.
         self._lru: "OrderedDict[_RowKey, None]" = OrderedDict()
@@ -172,10 +185,14 @@ class EmbeddingCache:
             self.stats.record(hit)
             if hit:
                 cache.move_to_end(key)
+                if self._stale and key in self._stale:
+                    self.stale_hits += 1
                 continue
             if len(cache) >= capacity:
-                cache.popitem(last=False)
+                evicted, _ = cache.popitem(last=False)
                 self.evictions += 1
+                if self._stale:
+                    self._stale.discard(evicted)
             cache[key] = None
 
     def _lookup_lfu(self, table_index: int, rows: np.ndarray, hits: np.ndarray) -> None:
@@ -190,6 +207,8 @@ class EmbeddingCache:
             self._tick += 1
             if hit:
                 frequency = entry[0] + 1
+                if self._stale and key in self._stale:
+                    self.stale_hits += 1
             else:
                 if len(cache) >= capacity:
                     self._evict_lfu()
@@ -213,8 +232,81 @@ class EmbeddingCache:
             if current is not None and current == (frequency, tick):
                 del self._lfu[key]
                 self.evictions += 1
+                if self._stale:
+                    self._stale.discard(key)
                 return
         raise RuntimeError("LFU heap drained with entries resident")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Freshness API: embedding pushes arriving behind the read path.
+    # ------------------------------------------------------------------
+    def invalidate(self, table_index: int, rows: np.ndarray) -> int:
+        """Drop pushed rows from the cache; returns rows actually dropped.
+
+        Invalidations are counted in ``update_evictions``, *not* in the
+        capacity ``evictions`` counter — the per-cause split freshness
+        reports rely on.  Absent rows are a no-op.
+        """
+        cache = self._lru if self.policy == "lru" else self._lfu
+        removed = 0
+        for row in np.asarray(rows, dtype=np.int64).tolist():
+            key = (table_index, row)
+            if key in cache:
+                # LFU heap snapshots of the key go stale; _evict_lfu
+                # already skips snapshots whose entry disagrees.
+                del cache[key]
+                removed += 1
+                if self._stale:
+                    self._stale.discard(key)
+        self.update_evictions += removed
+        return removed
+
+    def refresh(self, table_index: int, rows: np.ndarray) -> int:
+        """Write a push through to resident rows; returns rows refreshed.
+
+        Refreshing keeps the row resident and clears any staleness mark
+        without touching recency or frequency (a push is not a read).
+        Absent rows are not allocated — write-no-allocate keeps one-shot
+        pushes from polluting the hot set.
+        """
+        cache = self._lru if self.policy == "lru" else self._lfu
+        refreshed = 0
+        for row in np.asarray(rows, dtype=np.int64).tolist():
+            key = (table_index, row)
+            if key in cache:
+                refreshed += 1
+                if self._stale:
+                    self._stale.discard(key)
+        self.update_refreshes += refreshed
+        return refreshed
+
+    def mark_stale(self, table_index: int, rows: np.ndarray) -> int:
+        """Mark resident pushed rows stale (``"ignore"`` freshness mode).
+
+        Later hits on marked rows increment ``stale_hits`` — the run's
+        correctness/staleness exposure when pushes are not applied.
+        """
+        cache = self._lru if self.policy == "lru" else self._lfu
+        marked = 0
+        for row in np.asarray(rows, dtype=np.int64).tolist():
+            key = (table_index, row)
+            if key in cache and key not in self._stale:
+                self._stale.add(key)
+                marked += 1
+        return marked
+
+    def apply_update(self, table_index: int, rows: np.ndarray, mode: str) -> int:
+        """Apply one push per ``mode``; returns the rows affected."""
+        if mode == "invalidate":
+            return self.invalidate(table_index, rows)
+        if mode == "write-through":
+            return self.refresh(table_index, rows)
+        if mode == "ignore":
+            return self.mark_stale(table_index, rows)
+        raise ConfigurationError(
+            f"update mode must be 'invalidate', 'write-through' or 'ignore', "
+            f"got {mode!r}"
+        )
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -48,6 +48,11 @@ from repro.workloads.traces import (
     table_trace,
 )
 from repro.workloads.mix import MixComponent, TrafficMix
+from repro.workloads.updates import (
+    UPDATE_MODES,
+    EmbeddingUpdate,
+    UpdateProcess,
+)
 from repro.workloads.workload import (
     TAG_MULTI_MODEL,
     TAG_SKEWED_TRACE,
@@ -58,12 +63,16 @@ from repro.workloads.catalog import (
     ARRIVAL_CATALOG,
     SCENARIO_CATALOG,
     TRACE_CATALOG,
+    UPDATE_SCENARIO_CATALOG,
     CatalogEntry,
     ChaosScenario,
+    UpdateScenario,
     parse_arrival_spec,
     parse_trace_spec,
+    parse_update_spec,
     parse_workload_spec,
     resolve_fault_spec,
+    resolve_update_spec,
 )
 
 __all__ = [
@@ -98,13 +107,20 @@ __all__ = [
     "poisson_workload",
     "TAG_MULTI_MODEL",
     "TAG_SKEWED_TRACE",
+    "EmbeddingUpdate",
+    "UpdateProcess",
+    "UPDATE_MODES",
     "CatalogEntry",
     "ChaosScenario",
+    "UpdateScenario",
     "ARRIVAL_CATALOG",
     "SCENARIO_CATALOG",
     "TRACE_CATALOG",
+    "UPDATE_SCENARIO_CATALOG",
     "parse_arrival_spec",
     "parse_trace_spec",
+    "parse_update_spec",
     "parse_workload_spec",
     "resolve_fault_spec",
+    "resolve_update_spec",
 ]

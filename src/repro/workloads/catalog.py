@@ -34,6 +34,7 @@ from repro.workloads.traces import (
     WorkingSetTrace,
     ZipfianTrace,
 )
+from repro.workloads.updates import UPDATE_MODES, UpdateProcess
 from repro.workloads.workload import Workload
 
 
@@ -292,6 +293,114 @@ SCENARIO_CATALOG: Dict[str, ChaosScenario] = {
         arrival_spec="bursty:on=30000,off=5000,mean_on=0.05,mean_off=0.05",
     ),
 }
+
+
+_MODE_ALIASES = {
+    "invalidate": "invalidate",
+    "write-through": "write-through",
+    "writethrough": "write-through",
+    "write_through": "write-through",
+    "ignore": "ignore",
+}
+
+
+def parse_update_spec(spec) -> "UpdateProcess | None":
+    """Build an :class:`~repro.workloads.updates.UpdateProcess` from text.
+
+    Grammar: ``MODE:rate=R,rows=K[,trace=TRACESPEC]`` where ``MODE`` is
+    ``invalidate`` / ``write-through`` / ``ignore``; ``rate`` is pushes/s
+    (Poisson) and ``rows`` the rows rewritten per push.  A bare number
+    body (``invalidate:4000``) is the rate.  ``None``, ``""``, ``"off"``,
+    ``"none"`` and ``rate=0`` all mean no update stream — the read-only
+    serving path.  The trace sub-spec may not contain commas beyond its
+    own parameters (``trace=zipf:1.05`` works; quote odd shapes in code).
+    """
+    if spec is None:
+        return None
+    text = str(spec).strip()
+    if not text or text.lower() in ("off", "none"):
+        return None
+    mode_text, _, body = text.partition(":")
+    mode = _MODE_ALIASES.get(mode_text.strip().lower())
+    if mode is None:
+        raise ConfigurationError(
+            f"unknown update mode {mode_text.strip()!r}; use one of "
+            f"{', '.join(UPDATE_MODES)} (or 'off')"
+        )
+    rate = 1000.0
+    rows = 1
+    trace: TraceModel | None = None
+    body = body.strip()
+    if body:
+        for item in body.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, raw = item.partition("=")
+            key = key.strip().lower()
+            raw = raw.strip()
+            if not sep:
+                rate = _require_number(item, "update", "push rate in pushes/s")
+                continue
+            if key == "rate":
+                rate = _require_number(raw, "update", "push rate in pushes/s")
+            elif key == "rows":
+                rate_rows = _require_number(raw, "update", "rows per push")
+                rows = int(rate_rows)
+            elif key == "trace":
+                trace = parse_trace_spec(raw)
+            else:
+                raise ConfigurationError(
+                    f"unknown update parameter {key!r} (known: rate, rows, trace)"
+                )
+    if rate < 0:
+        raise ConfigurationError(f"update rate must be >= 0, got {rate:g}")
+    if rate == 0:
+        return None
+    return UpdateProcess(
+        arrivals=rate, rows_per_update=rows, mode=mode, trace=trace
+    )
+
+
+@dataclass(frozen=True)
+class UpdateScenario:
+    """A named embedding-push drill: an update spec plus assumed traffic."""
+
+    name: str
+    summary: str
+    update_spec: str
+    arrival_spec: str
+    trace_spec: str = "uniform"
+
+    def updates(self) -> "UpdateProcess | None":
+        """Parse :attr:`update_spec` into an :class:`UpdateProcess`."""
+        return parse_update_spec(self.update_spec)
+
+    def workload(self) -> Workload:
+        """Build the scenario's assumed traffic."""
+        return parse_workload_spec(self.arrival_spec, self.trace_spec)
+
+
+UPDATE_SCENARIO_CATALOG: Dict[str, UpdateScenario] = {
+    "model-push-storm": UpdateScenario(
+        name="model-push-storm",
+        summary=(
+            "a full model push streams retrained rows into serving at high "
+            "rate; invalidations strip the hot set while zipf reads hammer it"
+        ),
+        update_spec="invalidate:rate=4000,rows=32",
+        arrival_spec="poisson:30000",
+        trace_spec="zipf:1.05",
+    ),
+}
+
+
+def resolve_update_spec(spec) -> "UpdateProcess | None":
+    """Resolve ``--updates`` text: a scenario name or a raw update spec."""
+    if spec is not None and str(spec).strip().lower() in UPDATE_SCENARIO_CATALOG:
+        scenario = UPDATE_SCENARIO_CATALOG[str(spec).strip().lower()]
+        return scenario.updates()
+    return parse_update_spec(spec)
 
 
 def resolve_fault_spec(spec: str):

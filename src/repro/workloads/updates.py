@@ -1,0 +1,143 @@
+"""Rate-controlled embedding update streams (model-push traffic).
+
+The serving paths in this repo treat the hot-row cache as read-only, but
+production recommendation fleets continuously push freshly trained
+embedding rows into serving.  An :class:`UpdateProcess` models that write
+stream: push *times* come from any :class:`~repro.workloads.arrivals.ArrivalProcess`
+(so storms can be Poisson, constant, bursty or diurnal just like reads),
+and the *rows* each push touches are drawn from the same
+:class:`~repro.workloads.traces.TraceModel` family that shapes reads — hot
+rows are retrained most often, so write skew follows read skew unless a
+different trace is given explicitly.
+
+Determinism mirrors :class:`~repro.workloads.workload.Workload`: one seed
+is split with ``np.random.SeedSequence.spawn`` into independent children
+for push times and row draws, so two streams built from equal arguments
+are bit-identical and neither perturbs the serving-side trace RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.config.models import DLRMConfig
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import ArrivalProcess, SeedLike, as_arrival_process
+from repro.workloads.traces import TraceModel, UniformTrace
+
+#: Freshness modes an update stream can drive a cache with.
+UPDATE_MODES = ("invalidate", "write-through", "ignore")
+
+
+@dataclass(frozen=True)
+class EmbeddingUpdate:
+    """One model push: ``rows`` of one table updated at ``time_s``."""
+
+    sequence: int
+    time_s: float
+    table_index: int
+    rows: np.ndarray
+
+
+@dataclass(frozen=True)
+class UpdateProcess:
+    """A seeded stream of embedding-row pushes into serving.
+
+    Args:
+        arrivals: Push-time process, or a bare rate in pushes/s (coerced
+            to Poisson, mirroring ``Workload``'s arrivals coercion).
+        rows_per_update: Rows each push rewrites (> 0).
+        mode: How caches react to a push — ``"invalidate"`` drops the rows
+            (next read misses), ``"write-through"`` refreshes them in
+            place (reads stay hits but the refresh costs gather time),
+            ``"ignore"`` applies nothing and only counts stale hits.
+        trace: Row-skew model of the pushed rows; ``None`` uses the
+            serving workload's read trace at serve time so write skew
+            matches read skew.
+        name: Optional label for reports.
+    """
+
+    arrivals: Union[ArrivalProcess, float, int]
+    rows_per_update: int = 1
+    mode: str = "invalidate"
+    trace: Optional[TraceModel] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrivals", as_arrival_process(self.arrivals))
+        if self.mode not in UPDATE_MODES:
+            raise ConfigurationError(
+                f"update mode must be one of {UPDATE_MODES}, got {self.mode!r}"
+            )
+        if int(self.rows_per_update) <= 0:
+            raise ConfigurationError(
+                f"rows_per_update must be positive, got {self.rows_per_update}"
+            )
+        object.__setattr__(self, "rows_per_update", int(self.rows_per_update))
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_push_rate(self) -> float:
+        """Mean pushes per second."""
+        return self.arrivals.mean_rate_qps
+
+    @property
+    def mean_row_rate(self) -> float:
+        """Mean updated rows per second."""
+        return self.arrivals.mean_rate_qps * self.rows_per_update
+
+    def label(self) -> str:
+        """Stable axis label for grids/reports."""
+        if self.name:
+            return self.name
+        return f"{self.mode}:{self.mean_push_rate:g}x{self.rows_per_update}"
+
+    def describe(self) -> str:
+        return (
+            f"{self.mode} pushes, {self.arrivals.describe()}, "
+            f"{self.rows_per_update} rows/push"
+        )
+
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        model: DLRMConfig,
+        seed: SeedLike = 0,
+        default_trace: Optional[TraceModel] = None,
+    ) -> Iterator[EmbeddingUpdate]:
+        """Lazily generate the (infinite) push stream against ``model``.
+
+        Each push picks a table weighted by its row count (bigger tables
+        retrain more rows) and draws ``rows_per_update`` row IDs from the
+        trace model.  The stream never ends on its own; the serving driver
+        stops pulling when the request stream drains.
+        """
+        trace = self.trace
+        if trace is None:
+            trace = default_trace if default_trace is not None else UniformTrace()
+        entropy = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        time_seed, draw_seed = entropy.spawn(2)
+        rng = np.random.default_rng(draw_seed)
+        tables = model.tables
+        weights = np.array([table.num_rows for table in tables], dtype=float)
+        weights /= weights.sum()
+        indices = np.arange(len(tables))
+        rows_per_update = self.rows_per_update
+        for sequence, time_s in enumerate(self.arrivals.times(time_seed)):
+            table_index = int(rng.choice(indices, p=weights))
+            rows = trace.draw(
+                rng, tables[table_index].num_rows, rows_per_update, table_index
+            )
+            yield EmbeddingUpdate(
+                sequence=sequence,
+                time_s=float(time_s),
+                table_index=table_index,
+                rows=rows,
+            )

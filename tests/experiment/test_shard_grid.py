@@ -44,7 +44,8 @@ class TestExperimentShard:
         # 1 backend x 1 workload x 2 shard counts x 2 strategies x 2 caches.
         assert len(grid) == 8
         assert grid.shard_counts() == [1, 2]
-        for (_, _, shards, _, cache), report in grid:
+        for (_, _, shards, _, cache, updates), report in grid:
+            assert updates == "off"
             assert report.sharding is not None
             assert report.sharding.num_shards == shards
             assert report.completed_requests == 300
@@ -128,6 +129,44 @@ class TestExperimentShard:
                 )
         finally:
             unregister_backend("fused-tables-test")
+
+    def test_updates_axis_spans_the_grid(self):
+        from repro.experiment.sharding import update_label
+        from repro.workloads import UpdateProcess
+
+        storm = UpdateProcess(arrivals=10_000, rows_per_update=16, mode="invalidate")
+        grid = small_grid(
+            shard_counts=(2,),
+            strategies=("row",),
+            caches=(LRU,),
+            updates=(None, storm),
+        )
+        assert len(grid) == 2
+        off = grid.get("centaur", "zipf", 2, "row", cache_label(LRU))
+        on = grid.get(
+            "centaur", "zipf", 2, "row", cache_label(LRU), update_label(storm)
+        )
+        assert off.sharding.update_events == 0
+        assert on.sharding.update_events > 0
+        assert on.sharding.update_invalidations > 0
+        assert len(grid.filter(updates=update_label(storm))) == 1
+        header = grid.to_csv().strip().splitlines()[0]
+        assert ",updates," in header
+        assert ",update_invalidations," in header
+
+    def test_duplicate_update_labels_rejected(self):
+        from repro.workloads import UpdateProcess
+
+        with pytest.raises(SimulationError, match="distinct"):
+            small_grid(
+                shard_counts=(2,),
+                strategies=("row",),
+                caches=(LRU,),
+                updates=(
+                    UpdateProcess(arrivals=1_000, name="same"),
+                    UpdateProcess(arrivals=2_000, name="same"),
+                ),
+            )
 
     def test_deterministic_across_runs(self):
         first = small_grid(shard_counts=(2,), strategies=("row",), caches=(LRU,))

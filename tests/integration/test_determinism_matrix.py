@@ -35,7 +35,7 @@ from repro.serving import (
     TargetUtilizationPolicy,
     TimeoutBatching,
 )
-from repro.workloads import OnOffArrivals, Workload
+from repro.workloads import OnOffArrivals, UpdateProcess, Workload
 
 SEED = 11
 NUM_REQUESTS = 1_200
@@ -158,6 +158,73 @@ def test_same_seed_same_outcome(dispatcher_key, batching_key, autoscaler_key):
     )
     # Conservation holds in every cell of the matrix.
     assert first_outcome.scheduled == first_outcome.completed == NUM_REQUESTS
+
+
+UPDATE_STREAMS = {
+    "inval-slow": lambda: UpdateProcess(
+        arrivals=2_000, rows_per_update=8, mode="invalidate"
+    ),
+    "inval-storm": lambda: UpdateProcess(
+        arrivals=20_000, rows_per_update=8, mode="invalidate"
+    ),
+    "write-through": lambda: UpdateProcess(
+        arrivals=20_000, rows_per_update=8, mode="write-through"
+    ),
+}
+
+
+def _run_sharded_updates(policy_key: str, stream_key: str):
+    """One sharded serving run under an update stream, fresh objects only."""
+    from repro.config.models import homogeneous_dlrm
+    from repro.serving import ShardedReplicaGroup
+    from repro.sharding import CacheConfig
+    from repro.workloads import PoissonArrivals, Workload
+    from repro.workloads.traces import ZipfianTrace
+
+    model = homogeneous_dlrm(
+        name="matrix-updates",
+        num_tables=4,
+        rows_per_table=5_000,
+        gathers_per_table=8,
+        embedding_dim=32,
+    )
+    group = ShardedReplicaGroup(
+        get_backend("cpu", HARPV2_SYSTEM),
+        model,
+        num_shards=2,
+        strategy="row",
+        cache=CacheConfig(policy=policy_key, capacity_rows=1_024),
+        batching=TimeoutBatching(window_s=1e-3, max_batch_size=64),
+        system=HARPV2_SYSTEM,
+        updates=UPDATE_STREAMS[stream_key](),
+    )
+    workload = Workload(
+        arrivals=PoissonArrivals(rate_qps=30_000.0),
+        trace=ZipfianTrace(alpha=1.05),
+        name="zipf",
+    )
+    return group.serve_workload(workload, num_requests=800, seed=SEED)
+
+
+@pytest.mark.parametrize("policy_key", ["lru", "lfu"])
+@pytest.mark.parametrize("stream_key", sorted(UPDATE_STREAMS))
+def test_same_seed_same_outcome_under_update_streams(policy_key, stream_key):
+    """Cache policy x update stream: seeded pushes are bit-for-bit
+    reproducible across fresh-object runs — pickled *untouched* (stat
+    accessors memoize into instance state, so the snapshot comes first)."""
+    first = _run_sharded_updates(policy_key, stream_key)
+    second = _run_sharded_updates(policy_key, stream_key)
+    first_blob = pickle.dumps(first, protocol=4)
+    second_blob = pickle.dumps(second, protocol=4)
+    assert hashlib.sha256(first_blob).hexdigest() == hashlib.sha256(
+        second_blob
+    ).hexdigest()
+    assert pickle.dumps(first.sharding, protocol=4) == pickle.dumps(
+        second.sharding, protocol=4
+    )
+    # The stream actually drove the caches in every cell.
+    assert first.sharding.update_events > 0
+    assert first.completed_requests == 800
 
 
 @pytest.mark.parametrize("dispatcher_key", sorted(DISPATCHERS))

@@ -80,6 +80,120 @@ class TestLFU:
         assert cache.lookup(0, hot).all(), "frequent rows must outlive the scan"
 
 
+class TestEvictionAccounting:
+    def test_lru_duplicate_rows_in_one_lookup_count_exact_evictions(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lru")
+        hits = cache.lookup(0, rows(5, 5, 6, 7, 5))
+        # 5 miss, 5 hit, 6 miss (fills), 7 miss (evicts 5 — its hit made 6
+        # the newer entry but 5 the older *insert*... recency order is
+        # [5, 6] after the hit refresh, so 5 is evicted), 5 miss again.
+        assert hits.tolist() == [False, True, False, False, False]
+        assert cache.stats.accesses == 5
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 4
+        assert cache.evictions == 2
+
+    def test_lfu_duplicate_rows_in_one_lookup_count_exact_evictions(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lfu")
+        hits = cache.lookup(0, rows(5, 5, 6, 7, 5))
+        # 5 miss, 5 hit (freq 2), 6 miss (fills), 7 miss (evicts 6, the
+        # lowest-frequency entry), 5 hit (freq 3, still resident).
+        assert hits.tolist() == [False, True, False, False, True]
+        assert cache.stats.accesses == 5
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 3
+        assert cache.evictions == 1
+
+    def test_lfu_compaction_fires_and_preserves_eviction_order(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lfu")
+        cache.lookup(0, rows(1, 2))
+        # Each hit pushes one heap snapshot; the lazy heap compacts once it
+        # crosses 2 * len(cache) + 16 = 20 entries, back down to one
+        # snapshot per resident row.
+        for _ in range(30):
+            cache.lookup(0, rows(1))
+        assert len(cache._heap) <= 2 * len(cache) + 16
+        assert cache.stats.hits == 30
+        # Compaction must not corrupt the order: the cold row 2 (freq 1)
+        # is evicted, not the hot row 1 (freq 31).
+        cache.lookup(0, rows(9))
+        assert cache.evictions == 1
+        assert (0, 1) in cache
+        assert (0, 2) not in cache
+
+
+class TestFreshness:
+    """The invalidate / refresh / mark_stale API behind update streams."""
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_invalidate_drops_rows_and_counts_apart_from_evictions(self, policy):
+        cache = EmbeddingCache(capacity_rows=8, policy=policy)
+        cache.lookup(0, rows(1, 2, 3))
+        removed = cache.invalidate(0, rows(2, 3, 99))  # 99 absent: no-op
+        assert removed == 2
+        assert cache.update_evictions == 2
+        assert cache.evictions == 0
+        assert cache.lookup(0, rows(1, 2, 3)).tolist() == [True, False, False]
+
+    def test_lru_refresh_does_not_touch_recency(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lru")
+        cache.lookup(0, rows(1, 2))
+        assert cache.refresh(0, rows(1)) == 1
+        assert cache.update_refreshes == 1
+        cache.lookup(0, rows(3))  # evicts 1: the refresh was not a read
+        assert (0, 1) not in cache
+        assert (0, 2) in cache
+
+    def test_lfu_refresh_does_not_touch_frequency(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lfu")
+        cache.lookup(0, rows(1))
+        cache.lookup(0, rows(2, 2))  # freq(2) = 2 > freq(1) = 1
+        cache.refresh(0, rows(1))
+        cache.lookup(0, rows(3))  # still evicts 1, the least frequent
+        assert (0, 1) not in cache
+        assert (0, 2) in cache
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_refresh_does_not_allocate_absent_rows(self, policy):
+        cache = EmbeddingCache(capacity_rows=8, policy=policy)
+        assert cache.refresh(0, rows(7)) == 0
+        assert (0, 7) not in cache
+        assert cache.update_refreshes == 0
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_mark_stale_counts_hits_until_refreshed(self, policy):
+        cache = EmbeddingCache(capacity_rows=8, policy=policy)
+        cache.lookup(0, rows(1, 2))
+        assert cache.mark_stale(0, rows(1, 99)) == 1  # 99 absent
+        assert cache.lookup(0, rows(1, 2)).all()
+        assert cache.stale_hits == 1
+        cache.refresh(0, rows(1))
+        cache.lookup(0, rows(1))
+        assert cache.stale_hits == 1  # refresh cleared the mark
+
+    def test_lfu_heap_stays_consistent_after_invalidate(self):
+        cache = EmbeddingCache(capacity_rows=2, policy="lfu")
+        cache.lookup(0, rows(1, 2))
+        cache.invalidate(0, rows(1))
+        # The heap still holds a stale snapshot of row 1; eviction must
+        # skip it and evict the true least-frequent resident.
+        cache.lookup(0, rows(3, 4))
+        assert cache.evictions == 1
+        assert (0, 2) not in cache
+        assert (0, 4) in cache
+
+    def test_apply_update_dispatches_and_rejects_bad_modes(self):
+        cache = EmbeddingCache(capacity_rows=8, policy="lru")
+        cache.lookup(0, rows(1, 2, 3))
+        assert cache.apply_update(0, rows(1), "invalidate") == 1
+        assert cache.apply_update(0, rows(2), "write-through") == 1
+        assert cache.apply_update(0, rows(3), "ignore") == 1
+        assert cache.update_evictions == 1
+        assert cache.update_refreshes == 1
+        with pytest.raises(ConfigurationError):
+            cache.apply_update(0, rows(1), "drop")
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("policy", ["lru", "lfu"])
     def test_same_stream_produces_identical_stats(self, policy):
@@ -141,6 +255,22 @@ class TestCacheConfig:
         )
         with pytest.raises(ConfigurationError):
             CacheConfig(capacity_bytes=8).resolve_rows(model)
+
+    def test_byte_capacity_tracks_the_dtype_width(self, monkeypatch):
+        """Regression: sizing used a hardcoded ``embedding_dim * 4`` instead
+        of the DTYPE_BYTES-derived ``row_bytes``, so a wider dtype silently
+        doubled the row budget."""
+        model = homogeneous_dlrm(
+            name="cfg-dtype",
+            num_tables=2,
+            rows_per_table=100,
+            gathers_per_table=2,
+            embedding_dim=32,
+        )
+        config = CacheConfig(policy="lru", capacity_bytes=128 * 10)
+        assert config.resolve_rows(model) == 10
+        monkeypatch.setattr("repro.config.models.DTYPE_BYTES", 8)
+        assert config.resolve_rows(model) == 5
 
     def test_exactly_one_capacity_required(self):
         with pytest.raises(ConfigurationError):

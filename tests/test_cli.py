@@ -259,6 +259,85 @@ class TestServe:
             ]
         ) == 2
 
+    def test_updates_scenario_prints_the_freshness_report(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "centaur",
+                "--model", "DLRM2",
+                "--workload", "poisson:20000",
+                "--trace", "zipf:1.05",
+                "--requests", "800",
+                "--shards", "2",
+                "--cache", "lru:rows=4096",
+                "--updates", "model-push-storm",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "update scenario 'model-push-storm'" in out
+        assert "Cache freshness of DLRM(2)" in out
+        assert "invalidate" in out
+        assert "invalidated" in out
+
+    def test_updates_spec_with_shared_cache_tier(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "centaur",
+                "--model", "DLRM2",
+                "--trace", "zipf:1.05",
+                "--requests", "600",
+                "--cache", "lru:rows=2048",
+                "--shared-cache", "lru:rows=8192",
+                "--updates", "write-through:rate=8000,rows=16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cache freshness" in out
+        assert "write-through" in out
+
+    def test_updates_alone_enable_the_sharded_path(self, capsys):
+        # --updates without --shards/--cache still routes through the
+        # sharded group (cache off: pushes are counted, nothing to drop).
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--trace", "zipf:1.05",
+                "--requests", "400",
+                "--updates", "invalidate:rate=8000,rows=16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded serving" in out
+        assert "Cache freshness" in out
+
+    def test_bad_update_spec_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "100",
+                "--updates", "drop:rate=5",
+            ]
+        ) == 2
+        assert "unknown update mode" in capsys.readouterr().err
+
+    def test_updates_conflict_with_autoscale(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--backend", "cpu",
+                "--model", "DLRM2",
+                "--requests", "100",
+                "--updates", "invalidate:rate=100",
+                "--autoscale", "schedule:0=2",
+            ]
+        ) == 2
+        assert "--shards/--cache" in capsys.readouterr().err
+
     def test_autoscale_rejects_bad_spec(self, capsys):
         assert main(
             [
